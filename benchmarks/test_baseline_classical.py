@@ -1,0 +1,89 @@
+"""Benchmark of the classical-ML baselines (the paper's related-work setting).
+
+The paper motivates end-to-end deep models by the inter-session accuracy
+collapse of feature-engineering pipelines (Sec. II-B).  This benchmark runs
+those pipelines — Hudgins-style time-domain features into LDA / linear SVM /
+softmax / random forest / kNN — under the same session protocol the deep
+models use (train on sessions 1-5, test per session on 6-10) on the
+SMALL-scale surrogate, and reports the train-vs-test gap and the per-session
+series.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.baselines import FeatureSet, default_baselines, evaluate_baselines, render_baseline_table
+from repro.data import subject_split
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_classical_baselines_session_protocol(benchmark, small_context):
+    """Classical pipelines on subject 1 of the SMALL-scale surrogate."""
+    split = subject_split(small_context.dataset, subject=1, include_pretrain=False)
+
+    def run():
+        return evaluate_baselines(
+            split,
+            classifiers=default_baselines(seed=0),
+            features=FeatureSet(("mav", "rms", "wl", "zc", "ssc", "var")),
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "Classical baselines — session protocol (SMALL scale, subject 1)",
+        render_baseline_table(results),
+    )
+
+    chance = 1.0 / small_context.num_classes
+    for result in results:
+        # Every pipeline learns the training sessions well above chance...
+        assert result.train_accuracy > 2 * chance
+        # ...and still generalises above chance to the held-out sessions.
+        assert result.test_accuracy > chance
+        # The motivating observation: no pipeline generalises better than it fits.
+        assert result.train_accuracy >= result.test_accuracy - 0.02
+    # At least the strongest fitters show a clear train -> multi-day test gap.
+    assert max(r.train_accuracy - r.test_accuracy for r in results) > 0.05
+
+    best = max(results, key=lambda item: item.test_accuracy)
+    print(
+        f"best classical baseline: {best.name} at {100 * best.test_accuracy:.1f}% "
+        f"(train {100 * best.train_accuracy:.1f}%)"
+    )
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_feature_set_ablation(benchmark, small_context):
+    """Ablation: richer feature sets help the same LDA classifier."""
+    from repro.baselines import LinearDiscriminantAnalysis, FeaturePipeline
+
+    split = subject_split(small_context.dataset, subject=1, include_pretrain=False)
+    feature_sets = {
+        "amplitude only (mav)": FeatureSet(("mav",)),
+        "Hudgins (mav,wl,zc,ssc)": FeatureSet(("mav", "wl", "zc", "ssc")),
+        "extended (+rms,var,AR4)": FeatureSet(("mav", "wl", "zc", "ssc", "rms", "var", "ar4")),
+    }
+
+    def run():
+        scores = {}
+        for name, features in feature_sets.items():
+            pipeline = FeaturePipeline(LinearDiscriminantAnalysis(), features=features)
+            pipeline.fit(split.train)
+            scores[name] = pipeline.score(split.test)
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.utils.tables import format_table
+
+    report(
+        "Feature-set ablation (LDA, SMALL scale, subject 1)",
+        format_table(
+            ("feature set", "test accuracy"),
+            [(name, f"{100 * value:.1f}%") for name, value in scores.items()],
+        ),
+    )
+    chance = 1.0 / small_context.num_classes
+    assert all(value > chance for value in scores.values())
+    # The extended set should not do worse than amplitude alone.
+    assert scores["extended (+rms,var,AR4)"] >= scores["amplitude only (mav)"] - 0.05

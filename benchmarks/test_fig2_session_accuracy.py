@@ -1,0 +1,39 @@
+"""Benchmark regenerating Fig. 2 — accuracy per testing session.
+
+Paper series: Bioformer (h=8,d=1), Bioformer (h=2,d=2) and TEMPONet on
+testing sessions 6-10, with and without inter-subject pre-training.
+Expected shape: accuracy degrades with session distance; pre-training
+shifts every curve up.
+"""
+
+import pytest
+
+from conftest import report
+from repro.experiments import render_figure2, run_figure2
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_session_accuracy(benchmark, small_context):
+    """Train the three paper architectures with both protocols (1 subject,
+    SMALL scale) and print the per-session accuracy series."""
+
+    def run():
+        return run_figure2(
+            small_context,
+            architectures=("bio1", "bio2", "temponet"),
+            subjects=[1],
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Fig. 2 — accuracy per testing session (SMALL scale, subject 1)", render_figure2(result))
+
+    sessions = result.sessions
+    for name in ("bio1", "bio2", "temponet"):
+        series = result.series[(name, False)]
+        # Later sessions are harder: the last two sessions do not beat the
+        # first two (allowing noise at the reduced scale).
+        early = (series[sessions[0]] + series[sessions[1]]) / 2
+        late = (series[sessions[-2]] + series[sessions[-1]]) / 2
+        assert late <= early + 0.10, f"{name}: no session degradation"
+    # Pre-training helps the Bioformers on average (paper: +3.4% / +2.5%).
+    assert result.pretraining_gain("bio1") > -0.05

@@ -1,0 +1,33 @@
+"""Benchmark regenerating Fig. 5 — accuracy vs MACs / parameters Pareto spaces.
+
+Paper: every Pareto point except the pre-trained TEMPONet is a Bioformer;
+Bio1 (filter 10) needs ~4.9x fewer operations than TEMPONet at essentially
+the same accuracy; the filter dimension barely moves the parameter count.
+"""
+
+import pytest
+
+from conftest import report
+from repro.experiments import render_figure5, run_figure5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_pareto_spaces(benchmark):
+    """Profile every swept architecture at paper geometry and extract both
+    Pareto frontiers (accuracy from the paper's reported values)."""
+    result = benchmark(run_figure5)
+    report("Fig. 5 — accuracy vs complexity Pareto spaces (paper geometry)", render_figure5(result))
+
+    mac_reduction = result.mac_reduction_vs_temponet("bio1", 10)
+    print(f"MAC reduction of Bio1 (f=10) vs TEMPONet: {mac_reduction:.1f}x (paper: 4.9x)")
+    assert 4.0 < mac_reduction < 6.5
+
+    lightest = result.mac_reduction_vs_temponet("bio2", 10)
+    print(f"MAC reduction of Bio2 (f=10) vs TEMPONet: {lightest:.1f}x (paper: ~16x)")
+    assert lightest > 5.0
+
+    # The frontiers are populated by Bioformers (pre-trained TEMPONet may
+    # take the very top point, as in the paper).
+    for frontier in (result.pareto_by_macs(), result.pareto_by_params()):
+        non_temponet = [p for p in frontier if "temponet" not in p.label]
+        assert len(non_temponet) >= len(frontier) - 1

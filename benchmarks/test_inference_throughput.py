@@ -1,0 +1,48 @@
+"""Host-side inference throughput of the reproduced architectures.
+
+This does not model GAP8 (see the Table I benchmark for that); it measures
+the NumPy substrate itself, which is what bounds how fast the training
+experiments run, and documents the relative cost of the three architectures
+at the paper's input geometry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import bioformer_bio1, bioformer_bio2, temponet
+from repro.nn import Tensor, no_grad
+
+BATCH = 16
+RNG = np.random.default_rng(0)
+WINDOW = RNG.standard_normal((BATCH, 14, 300))
+
+
+def _run_inference(model):
+    model.eval()
+    with no_grad():
+        return model(Tensor(WINDOW)).data
+
+
+@pytest.mark.benchmark(group="inference")
+def test_bio1_inference_throughput(benchmark):
+    """Bioformer (h=8, d=1, filter 10) forward pass, batch of 16 windows."""
+    model = bioformer_bio1(patch_size=10)
+    out = benchmark(_run_inference, model)
+    assert out.shape == (BATCH, 8)
+
+
+@pytest.mark.benchmark(group="inference")
+def test_bio2_inference_throughput(benchmark):
+    """Bioformer (h=2, d=2, filter 10) forward pass, batch of 16 windows."""
+    model = bioformer_bio2(patch_size=10)
+    out = benchmark(_run_inference, model)
+    assert out.shape == (BATCH, 8)
+
+
+@pytest.mark.benchmark(group="inference")
+def test_temponet_inference_throughput(benchmark):
+    """TEMPONet forward pass, batch of 16 windows (expected to be the slowest,
+    mirroring its 5-16x higher MAC count)."""
+    model = temponet()
+    out = benchmark(_run_inference, model)
+    assert out.shape == (BATCH, 8)

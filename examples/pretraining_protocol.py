@@ -1,0 +1,55 @@
+"""Inter-subject pre-training — the paper's second contribution.
+
+Gesture recognition is normally trained per subject, because muscle
+anatomy and electrode placement differ from person to person.  The paper
+shows that *pre-training on the other subjects* before the subject-specific
+fine-tuning improves accuracy (by +3.39% for the best Bioformer), most of
+all for the subjects whose baseline accuracy is lowest.
+
+This example reproduces that comparison for a couple of subjects of the
+synthetic surrogate and prints the per-subject gains (the data behind the
+paper's Fig. 3).
+
+Run with::
+
+    python examples/pretraining_protocol.py
+"""
+
+from repro.data import NinaProDB6, NinaProDB6Config, subject_split
+from repro.models import bioformer_bio1
+from repro.training import ProtocolConfig, run_two_step_protocol, train_subject_specific
+
+
+def main() -> None:
+    dataset = NinaProDB6(NinaProDB6Config.small(num_subjects=3))
+    protocol = ProtocolConfig.small()
+    window = dataset.config.window_samples
+
+    print("protocol comparison: standard vs inter-subject pre-training + fine-tuning")
+    print(f"pre-training: {protocol.pretrain_epochs} epochs, Adam warm-up to {protocol.pretrain_peak_lr}")
+    print(f"fine-tuning:  {protocol.finetune_epochs} epochs at lr {protocol.finetune_lr}")
+    print()
+
+    gains = []
+    for subject in dataset.config.subjects[:2]:
+        split = subject_split(dataset, subject)
+
+        standard_model = bioformer_bio1(patch_size=10, window_samples=window, seed=subject)
+        standard = train_subject_specific(standard_model, split, protocol, num_classes=8)
+
+        pretrained_model = bioformer_bio1(patch_size=10, window_samples=window, seed=subject)
+        pretrained = run_two_step_protocol(pretrained_model, split, protocol, num_classes=8)
+
+        gain = pretrained.test_accuracy - standard.test_accuracy
+        gains.append(gain)
+        print(
+            f"subject {subject}: standard {100 * standard.test_accuracy:.2f}%  "
+            f"pre-trained {100 * pretrained.test_accuracy:.2f}%  gain {100 * gain:+.2f}%"
+        )
+
+    print()
+    print(f"average gain: {100 * sum(gains) / len(gains):+.2f}%  (paper: +3.39% over 10 subjects)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Session-to-session drift — why multi-day sEMG recognition is hard.
+
+NinaPro DB6 was recorded specifically to study how recognition accuracy
+degrades when the electrodes are re-donned over five days.  This example
+looks at the phenomenon from two angles on the synthetic surrogate:
+
+1. a *data-level* view: how far each session's class centroids move away
+   from the training sessions (electrode shift + impedance drift);
+2. a *model-level* view: per-session accuracy of a trained Bioformer, the
+   series plotted in the paper's Fig. 2.
+
+Run with::
+
+    python examples/session_drift_study.py
+"""
+
+import numpy as np
+
+from repro.data import NinaProDB6, NinaProDB6Config, subject_split
+from repro.models import bioformer_bio1
+from repro.training import ProtocolConfig, train_subject_specific
+
+
+def centroid_drift(dataset: NinaProDB6, subject: int) -> None:
+    """Distance of each session's class centroids from the training centroids."""
+    train = dataset.training_dataset(subject)
+    features = np.sqrt((train.windows**2).mean(axis=-1))  # per-channel RMS
+    centroids = np.stack([features[train.labels == c].mean(axis=0) for c in range(8)])
+
+    print("data-level drift (RMS-feature centroid distance to training sessions):")
+    for session in range(1, dataset.config.num_sessions + 1):
+        data = dataset.session_dataset(subject, session)
+        session_features = np.sqrt((data.windows**2).mean(axis=-1))
+        session_centroids = np.stack(
+            [session_features[data.labels == c].mean(axis=0) for c in range(8)]
+        )
+        distance = np.linalg.norm(session_centroids - centroids, axis=1).mean()
+        split_tag = "train" if session in dataset.config.training_sessions else "test "
+        print(f"  session {session:2d} ({split_tag}): {distance:.3f}")
+
+
+def model_accuracy_per_session(dataset: NinaProDB6, subject: int) -> None:
+    """Per-session accuracy of Bio1 trained on sessions 1-5 (Fig. 2 series)."""
+    split = subject_split(dataset, subject, include_pretrain=False)
+    model = bioformer_bio1(
+        patch_size=10,
+        window_samples=dataset.config.window_samples,
+        num_channels=dataset.config.num_channels,
+        seed=subject,
+    )
+    outcome = train_subject_specific(model, split, ProtocolConfig.small(), num_classes=8)
+    print("\nmodel-level drift (Bioformer h=8, d=1 accuracy per testing session):")
+    for session, accuracy in outcome.session_series().items():
+        bar = "#" * int(40 * accuracy)
+        print(f"  session {session:2d}: {100 * accuracy:5.1f}%  {bar}")
+    print(f"  overall: {100 * outcome.test_accuracy:.2f}%")
+
+
+def main() -> None:
+    dataset = NinaProDB6(NinaProDB6Config.small(num_subjects=1))
+    print(dataset.describe())
+    print()
+    centroid_drift(dataset, subject=1)
+    model_accuracy_per_session(dataset, subject=1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Internal calibration helper: checks that the reduced-scale presets show
+the paper's qualitative effects (pre-training gain, session degradation).
+
+Not part of the public API; used during development and kept for
+reproducibility of the preset tuning.
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.data import NinaProDB6, NinaProDB6Config, subject_split
+from repro.models import bioformer_bio1
+from repro.training import ProtocolConfig, run_two_step_protocol, train_subject_specific
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--subjects", type=int, default=3)
+    parser.add_argument("--eval-subjects", type=int, nargs="*", default=[1, 2, 3])
+    args = parser.parse_args()
+
+    cfg = NinaProDB6Config.small(num_subjects=args.subjects)
+    ds = NinaProDB6(cfg)
+    proto = ProtocolConfig.small()
+    gains = []
+    for subject in args.eval_subjects:
+        split = subject_split(ds, subject)
+        t0 = time.time()
+        model_std = bioformer_bio1(patch_size=10, window_samples=cfg.window_samples)
+        res_std = train_subject_specific(model_std, split, proto)
+        model_pre = bioformer_bio1(patch_size=10, window_samples=cfg.window_samples)
+        res_pre = run_two_step_protocol(model_pre, split, proto)
+        gain = res_pre.test_accuracy - res_std.test_accuracy
+        gains.append(gain)
+        print(
+            f"subject {subject}: standard {res_std.test_accuracy:.3f} "
+            f"pretrain {res_pre.test_accuracy:.3f} gain {gain:+.3f} "
+            f"({time.time() - t0:.0f}s)"
+        )
+        print("  std sessions", {k: round(v, 2) for k, v in res_std.session_series().items()})
+        print("  pre sessions", {k: round(v, 2) for k, v in res_pre.session_series().items()})
+    print(f"mean gain {np.mean(gains):+.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""``repro.analysis`` — Pareto analysis and report formatting."""
+
+from .pareto import ParetoPoint, is_dominated, pareto_frontier
+
+__all__ = ["ParetoPoint", "pareto_frontier", "is_dominated"]

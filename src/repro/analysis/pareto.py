@@ -1,0 +1,39 @@
+"""Pareto-frontier extraction for the accuracy-vs-complexity planes (Fig. 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+__all__ = ["ParetoPoint", "pareto_frontier", "is_dominated"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One architecture in an accuracy-vs-cost plane.
+
+    ``cost`` is minimised (MACs, parameters, energy); ``accuracy`` is
+    maximised.  ``label`` identifies the architecture.
+    """
+
+    label: str
+    cost: float
+    accuracy: float
+
+
+def is_dominated(candidate: ParetoPoint, others: Iterable[ParetoPoint]) -> bool:
+    """``True`` when some other point is at least as good on both axes and
+    strictly better on one."""
+    for other in others:
+        if other is candidate:
+            continue
+        if other.cost <= candidate.cost and other.accuracy >= candidate.accuracy:
+            if other.cost < candidate.cost or other.accuracy > candidate.accuracy:
+                return True
+    return False
+
+
+def pareto_frontier(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """Return the non-dominated subset of ``points`` sorted by cost."""
+    frontier = [point for point in points if not is_dominated(point, points)]
+    return sorted(frontier, key=lambda point: (point.cost, -point.accuracy))

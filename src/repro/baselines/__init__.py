@@ -1,0 +1,48 @@
+"""``repro.baselines`` — classical sEMG gesture-recognition baselines.
+
+The paper's related work positions the Bioformer against the pre-deep-
+learning state of the art: hand-crafted time-domain features (Hudgins' set
+and friends) fed to shallow classifiers such as LDA, SVMs and random
+forests, whose accuracy collapses across recording sessions.  This package
+implements that whole stack from scratch so the repository can reproduce
+the comparison:
+
+* :mod:`repro.baselines.features` — MAV, RMS, WL, ZC, SSC, Hjorth, AR and
+  histogram features per electrode;
+* :mod:`repro.baselines.linear` — LDA, linear SVM, softmax regression;
+* :mod:`repro.baselines.trees` — decision trees and random forests;
+* :mod:`repro.baselines.neighbors` — k-nearest neighbours;
+* :mod:`repro.baselines.pipeline` — feature/scaler/classifier pipelines and
+  the session-protocol benchmark used by the harness.
+"""
+
+from .base import BaseClassifier, StandardScaler
+from .features import DEFAULT_FEATURES, FeatureSet
+from .linear import LinearDiscriminantAnalysis, LinearSVM, SoftmaxRegression
+from .neighbors import KNeighborsClassifier
+from .pipeline import (
+    BaselineResult,
+    FeaturePipeline,
+    default_baselines,
+    evaluate_baselines,
+    render_baseline_table,
+)
+from .trees import DecisionTreeClassifier, RandomForestClassifier
+
+__all__ = [
+    "BaseClassifier",
+    "StandardScaler",
+    "FeatureSet",
+    "DEFAULT_FEATURES",
+    "LinearDiscriminantAnalysis",
+    "LinearSVM",
+    "SoftmaxRegression",
+    "KNeighborsClassifier",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "FeaturePipeline",
+    "BaselineResult",
+    "default_baselines",
+    "evaluate_baselines",
+    "render_baseline_table",
+]

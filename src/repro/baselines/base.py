@@ -1,0 +1,89 @@
+"""Common interface and helpers shared by the classical classifiers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["BaseClassifier", "StandardScaler", "check_fitted", "validate_xy"]
+
+
+def validate_xy(features: np.ndarray, labels: Optional[np.ndarray] = None):
+    """Coerce and sanity-check a feature matrix (and optional label vector)."""
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError(f"expected a 2-D feature matrix, got shape {features.shape}")
+    if labels is None:
+        return features
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1 or labels.shape[0] != features.shape[0]:
+        raise ValueError(
+            f"labels of shape {labels.shape} do not match {features.shape[0]} samples"
+        )
+    return features, labels
+
+
+def check_fitted(estimator, attribute: str) -> None:
+    """Raise a clear error when predict() is called before fit()."""
+    if getattr(estimator, attribute, None) is None:
+        raise RuntimeError(f"{type(estimator).__name__} must be fitted before prediction")
+
+
+class BaseClassifier:
+    """Minimal fit / predict / score contract shared by every baseline.
+
+    Sub-classes implement :meth:`fit` and :meth:`predict` (and optionally
+    :meth:`predict_proba`); :meth:`score` is provided here.
+    """
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "BaseClassifier":
+        raise NotImplementedError
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class-probability estimates; not every classifier provides them."""
+        raise NotImplementedError(f"{type(self).__name__} does not estimate probabilities")
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on ``(features, labels)``."""
+        features, labels = validate_xy(features, labels)
+        return float(np.mean(self.predict(features) == labels))
+
+
+class StandardScaler:
+    """Per-feature standardisation (zero mean, unit variance).
+
+    Classical classifiers — LDA shrinkage, SVM margins, kNN distances — are
+    all sensitive to feature scaling, so every pipeline standardises the
+    feature matrix using statistics of the *training* sessions only.
+    """
+
+    def __init__(self, eps: float = 1e-12) -> None:
+        self.eps = eps
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        """Estimate the per-feature statistics."""
+        features = validate_xy(features)
+        self.mean_ = features.mean(axis=0)
+        self.std_ = features.std(axis=0) + self.eps
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Standardise ``features`` with the fitted statistics."""
+        check_fitted(self, "mean_")
+        features = validate_xy(features)
+        return (features - self.mean_) / self.std_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit on ``features`` and return the standardised matrix."""
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        """Undo the standardisation."""
+        check_fitted(self, "mean_")
+        return validate_xy(features) * self.std_ + self.mean_

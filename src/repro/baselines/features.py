@@ -1,0 +1,272 @@
+"""Hand-crafted sEMG time-domain features.
+
+Before deep learning, sEMG gesture recognition relied on compact per-channel
+time-domain descriptors (Hudgins' set and its extensions) fed to classical
+classifiers — the SVM / RF / LDA approaches cited in the paper's related
+work.  This module implements those descriptors so the repository can
+reproduce that comparison point and quantify what the end-to-end learned
+models buy over feature engineering:
+
+* amplitude features — mean absolute value (MAV), root mean square (RMS),
+  integrated EMG (IEMG), variance, waveform length (WL), Willison amplitude
+  (WAMP), log detector;
+* frequency-surrogate features — zero crossings (ZC), slope sign changes
+  (SSC), Hjorth mobility and complexity;
+* model-based features — autoregressive (AR) coefficients estimated per
+  channel with Levinson-Durbin recursion;
+* distribution features — a fixed-bin amplitude histogram.
+
+All extractors consume a window batch of shape ``(num_windows, channels,
+samples)`` and return ``(num_windows, channels * k)`` arrays; the
+:class:`FeatureSet` front-end concatenates any selection of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "mean_absolute_value",
+    "root_mean_square",
+    "integrated_emg",
+    "variance",
+    "waveform_length",
+    "willison_amplitude",
+    "log_detector",
+    "zero_crossings",
+    "slope_sign_changes",
+    "hjorth_mobility",
+    "hjorth_complexity",
+    "autoregressive_coefficients",
+    "amplitude_histogram",
+    "FeatureSet",
+    "DEFAULT_FEATURES",
+]
+
+
+def _as_batch(windows: np.ndarray) -> np.ndarray:
+    windows = np.asarray(windows, dtype=np.float64)
+    if windows.ndim == 2:
+        windows = windows[None, ...]
+    if windows.ndim != 3:
+        raise ValueError(f"expected (windows, channels, samples), got shape {windows.shape}")
+    return windows
+
+
+# --------------------------------------------------------------------- #
+# Amplitude features
+# --------------------------------------------------------------------- #
+def mean_absolute_value(windows: np.ndarray) -> np.ndarray:
+    """MAV: mean of ``|x|`` per channel — the classic sEMG intensity feature."""
+    return np.abs(_as_batch(windows)).mean(axis=-1)
+
+
+def root_mean_square(windows: np.ndarray) -> np.ndarray:
+    """RMS amplitude per channel."""
+    return np.sqrt((_as_batch(windows) ** 2).mean(axis=-1))
+
+
+def integrated_emg(windows: np.ndarray) -> np.ndarray:
+    """IEMG: sum of ``|x|`` per channel."""
+    return np.abs(_as_batch(windows)).sum(axis=-1)
+
+
+def variance(windows: np.ndarray) -> np.ndarray:
+    """Signal variance per channel."""
+    return _as_batch(windows).var(axis=-1)
+
+
+def waveform_length(windows: np.ndarray) -> np.ndarray:
+    """WL: cumulative absolute first difference (combined amplitude/frequency cue)."""
+    return np.abs(np.diff(_as_batch(windows), axis=-1)).sum(axis=-1)
+
+
+def willison_amplitude(windows: np.ndarray, threshold: float = 0.05) -> np.ndarray:
+    """WAMP: number of consecutive-sample jumps exceeding ``threshold``."""
+    return (np.abs(np.diff(_as_batch(windows), axis=-1)) > threshold).sum(axis=-1).astype(np.float64)
+
+
+def log_detector(windows: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+    """LOG: exponential of the mean log amplitude (robust intensity estimate)."""
+    return np.exp(np.log(np.abs(_as_batch(windows)) + eps).mean(axis=-1))
+
+
+# --------------------------------------------------------------------- #
+# Frequency-surrogate features
+# --------------------------------------------------------------------- #
+def zero_crossings(windows: np.ndarray, threshold: float = 0.0) -> np.ndarray:
+    """ZC: sign changes of the signal (a cheap spectral-centroid surrogate)."""
+    batch = _as_batch(windows)
+    sign_change = np.diff(np.signbit(batch), axis=-1)
+    magnitude_ok = np.abs(np.diff(batch, axis=-1)) >= threshold
+    return (sign_change & magnitude_ok).sum(axis=-1).astype(np.float64)
+
+
+def slope_sign_changes(windows: np.ndarray, threshold: float = 0.0) -> np.ndarray:
+    """SSC: sign changes of the first difference."""
+    first_difference = np.diff(_as_batch(windows), axis=-1)
+    change = np.diff(np.signbit(first_difference), axis=-1)
+    magnitude_ok = np.abs(np.diff(first_difference, axis=-1)) >= threshold
+    return (change & magnitude_ok).sum(axis=-1).astype(np.float64)
+
+
+def hjorth_mobility(windows: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Hjorth mobility: std of the derivative over std of the signal."""
+    batch = _as_batch(windows)
+    derivative = np.diff(batch, axis=-1)
+    return np.sqrt(derivative.var(axis=-1) / (batch.var(axis=-1) + eps))
+
+
+def hjorth_complexity(windows: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Hjorth complexity: mobility of the derivative over mobility of the signal."""
+    batch = _as_batch(windows)
+    derivative = np.diff(batch, axis=-1)
+    return hjorth_mobility(derivative, eps) / (hjorth_mobility(batch, eps) + eps)
+
+
+# --------------------------------------------------------------------- #
+# Model-based features
+# --------------------------------------------------------------------- #
+def autoregressive_coefficients(windows: np.ndarray, order: int = 4) -> np.ndarray:
+    """Per-channel AR(``order``) coefficients via Levinson-Durbin recursion.
+
+    AR coefficients summarise the short-term spectral shape of the signal
+    and are a staple of classical sEMG pipelines.  Returns an array of shape
+    ``(windows, channels * order)``.
+    """
+    if order < 1:
+        raise ValueError("AR order must be at least 1")
+    batch = _as_batch(windows)
+    num_windows, channels, samples = batch.shape
+    if samples <= order:
+        raise ValueError(f"window of {samples} samples is too short for AR({order})")
+    centered = batch - batch.mean(axis=-1, keepdims=True)
+    # Autocorrelation lags 0..order for every (window, channel).
+    autocorrelation = np.empty((num_windows, channels, order + 1))
+    for lag in range(order + 1):
+        if lag == 0:
+            autocorrelation[..., lag] = (centered * centered).sum(axis=-1)
+        else:
+            autocorrelation[..., lag] = (centered[..., lag:] * centered[..., :-lag]).sum(axis=-1)
+    autocorrelation[..., 0] = np.maximum(autocorrelation[..., 0], 1e-12)
+
+    coefficients = np.zeros((num_windows, channels, order))
+    error = autocorrelation[..., 0].copy()
+    for step in range(order):
+        # Reflection coefficient.
+        accumulator = autocorrelation[..., step + 1].copy()
+        for previous in range(step):
+            accumulator -= coefficients[..., previous] * autocorrelation[..., step - previous]
+        reflection = accumulator / np.maximum(error, 1e-12)
+        # Update the coefficient vector (Levinson recursion).
+        updated = coefficients.copy()
+        updated[..., step] = reflection
+        for previous in range(step):
+            updated[..., previous] = (
+                coefficients[..., previous] - reflection * coefficients[..., step - 1 - previous]
+            )
+        coefficients = updated
+        error = error * (1.0 - reflection**2)
+        error = np.maximum(error, 1e-12)
+    return coefficients.reshape(num_windows, channels * order)
+
+
+def amplitude_histogram(windows: np.ndarray, bins: int = 8, limit: float = 3.0) -> np.ndarray:
+    """Normalised histogram of per-channel amplitudes (EMG histogram feature).
+
+    Each channel is standardised, clipped to ``[-limit, limit]`` and binned
+    into ``bins`` equal-width buckets; the counts are normalised to sum to
+    one per channel.
+    """
+    if bins < 2:
+        raise ValueError("need at least two histogram bins")
+    batch = _as_batch(windows)
+    num_windows, channels, samples = batch.shape
+    standardized = (batch - batch.mean(axis=-1, keepdims=True)) / (
+        batch.std(axis=-1, keepdims=True) + 1e-12
+    )
+    clipped = np.clip(standardized, -limit, limit)
+    edges = np.linspace(-limit, limit, bins + 1)
+    indices = np.clip(np.digitize(clipped, edges) - 1, 0, bins - 1)
+    histogram = np.zeros((num_windows, channels, bins))
+    for bin_index in range(bins):
+        histogram[..., bin_index] = (indices == bin_index).sum(axis=-1)
+    return (histogram / samples).reshape(num_windows, channels * bins)
+
+
+# --------------------------------------------------------------------- #
+# Feature-set front end
+# --------------------------------------------------------------------- #
+#: Name -> (extractor, features produced per channel) registry.
+_REGISTRY: Dict[str, Tuple[Callable[[np.ndarray], np.ndarray], int]] = {
+    "mav": (mean_absolute_value, 1),
+    "rms": (root_mean_square, 1),
+    "iemg": (integrated_emg, 1),
+    "var": (variance, 1),
+    "wl": (waveform_length, 1),
+    "wamp": (willison_amplitude, 1),
+    "log": (log_detector, 1),
+    "zc": (zero_crossings, 1),
+    "ssc": (slope_sign_changes, 1),
+    "hjorth_mobility": (hjorth_mobility, 1),
+    "hjorth_complexity": (hjorth_complexity, 1),
+    "ar4": (autoregressive_coefficients, 4),
+    "hist8": (amplitude_histogram, 8),
+}
+
+#: The Hudgins-style default set used by the classical-baseline experiments.
+DEFAULT_FEATURES: Tuple[str, ...] = ("mav", "rms", "wl", "zc", "ssc", "var")
+
+
+@dataclass
+class FeatureSet:
+    """A named selection of per-channel feature extractors.
+
+    Example
+    -------
+    >>> features = FeatureSet(("mav", "wl", "zc"))
+    >>> matrix = features.extract(windows)      # (num_windows, channels * 3)
+    """
+
+    names: Sequence[str] = field(default_factory=lambda: DEFAULT_FEATURES)
+
+    def __post_init__(self) -> None:
+        unknown = [name for name in self.names if name not in _REGISTRY]
+        if unknown:
+            raise ValueError(f"unknown features {unknown}; available: {sorted(_REGISTRY)}")
+        if not self.names:
+            raise ValueError("a FeatureSet needs at least one feature")
+
+    @staticmethod
+    def available() -> List[str]:
+        """Names of every registered feature extractor."""
+        return sorted(_REGISTRY)
+
+    def features_per_channel(self) -> int:
+        """Number of scalar features produced per channel."""
+        return sum(_REGISTRY[name][1] for name in self.names)
+
+    def dimension(self, num_channels: int) -> int:
+        """Total feature-vector length for ``num_channels`` electrodes."""
+        return num_channels * self.features_per_channel()
+
+    def feature_names(self, num_channels: int) -> List[str]:
+        """Qualified names (``ch3.rms``) of every output column."""
+        labels: List[str] = []
+        for name in self.names:
+            width = _REGISTRY[name][1]
+            for channel in range(num_channels):
+                if width == 1:
+                    labels.append(f"ch{channel}.{name}")
+                else:
+                    labels.extend(f"ch{channel}.{name}[{k}]" for k in range(width))
+        return labels
+
+    def extract(self, windows: np.ndarray) -> np.ndarray:
+        """Extract the selected features from a window batch."""
+        batch = _as_batch(windows)
+        blocks = [_REGISTRY[name][0](batch) for name in self.names]
+        return np.concatenate([block.reshape(batch.shape[0], -1) for block in blocks], axis=1)

@@ -1,0 +1,204 @@
+"""Linear classical classifiers: LDA, linear SVM and softmax regression.
+
+These are the classical sEMG gesture classifiers cited in the paper's
+related work (Kaufmann et al., Atzori et al., Milosevic et al.): compact
+linear decision functions over hand-crafted time-domain features.  They are
+implemented from scratch on NumPy:
+
+* :class:`LinearDiscriminantAnalysis` — shared-covariance Gaussian
+  classifier with shrinkage regularisation;
+* :class:`LinearSVM` — one-vs-rest L2-regularised hinge loss trained with
+  mini-batch SGD (the Pegasos-style primal solver);
+* :class:`SoftmaxRegression` — multinomial logistic regression trained with
+  full-batch gradient descent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import BaseClassifier, check_fitted, validate_xy
+
+__all__ = ["LinearDiscriminantAnalysis", "LinearSVM", "SoftmaxRegression"]
+
+
+class LinearDiscriminantAnalysis(BaseClassifier):
+    """LDA with a shared, shrinkage-regularised covariance matrix.
+
+    Parameters
+    ----------
+    shrinkage:
+        Convex mixing weight between the empirical covariance and a scaled
+        identity (0 = no regularisation, 1 = nearest-mean classifier).
+    """
+
+    def __init__(self, shrinkage: float = 0.1) -> None:
+        if not 0.0 <= shrinkage <= 1.0:
+            raise ValueError("shrinkage must lie in [0, 1]")
+        self.shrinkage = shrinkage
+        self.classes_: Optional[np.ndarray] = None
+        self.means_: Optional[np.ndarray] = None
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearDiscriminantAnalysis":
+        features, labels = validate_xy(features, labels)
+        self.classes_ = np.unique(labels)
+        num_features = features.shape[1]
+        means = np.stack([features[labels == label].mean(axis=0) for label in self.classes_])
+        priors = np.array([np.mean(labels == label) for label in self.classes_])
+
+        pooled = np.zeros((num_features, num_features))
+        for index, label in enumerate(self.classes_):
+            centered = features[labels == label] - means[index]
+            pooled += centered.T @ centered
+        pooled /= max(len(labels) - len(self.classes_), 1)
+        trace_scale = np.trace(pooled) / num_features
+        covariance = (1.0 - self.shrinkage) * pooled + self.shrinkage * trace_scale * np.eye(
+            num_features
+        )
+        precision = np.linalg.pinv(covariance)
+
+        self.means_ = means
+        self.coef_ = means @ precision
+        self.intercept_ = -0.5 * np.einsum("kd,dc,kc->k", means, precision, means) + np.log(
+            np.maximum(priors, 1e-12)
+        )
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Per-class linear discriminant scores."""
+        check_fitted(self, "coef_")
+        return validate_xy(features) @ self.coef_.T + self.intercept_
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.decision_function(features), axis=1)]
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(features)
+        scores -= scores.max(axis=1, keepdims=True)
+        exp = np.exp(scores)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+
+class LinearSVM(BaseClassifier):
+    """One-vs-rest linear SVM trained on the primal hinge loss with SGD.
+
+    Parameters
+    ----------
+    regularization:
+        L2 penalty weight (lambda); larger values give wider margins.
+    epochs, batch_size, learning_rate:
+        SGD schedule; the learning rate decays as ``1 / (1 + t)``.
+    seed:
+        Shuffling seed (training is deterministic given the seed).
+    """
+
+    def __init__(
+        self,
+        regularization: float = 1e-4,
+        epochs: int = 30,
+        batch_size: int = 64,
+        learning_rate: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if regularization < 0:
+            raise ValueError("regularization must be non-negative")
+        self.regularization = regularization
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.classes_: Optional[np.ndarray] = None
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearSVM":
+        features, labels = validate_xy(features, labels)
+        rng = np.random.default_rng(self.seed)
+        self.classes_ = np.unique(labels)
+        num_samples, num_features = features.shape
+        num_classes = len(self.classes_)
+        weights = np.zeros((num_classes, num_features))
+        biases = np.zeros(num_classes)
+        targets = np.where(labels[:, None] == self.classes_[None, :], 1.0, -1.0)
+
+        step = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(num_samples)
+            for start in range(0, num_samples, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                x = features[batch]
+                y = targets[batch]  # (batch, classes) in {-1, +1}
+                margins = y * (x @ weights.T + biases)
+                violating = margins < 1.0
+                learning_rate = self.learning_rate / (1.0 + 0.01 * step)
+                step += 1
+                gradient_w = self.regularization * weights
+                gradient_b = np.zeros(num_classes)
+                if np.any(violating):
+                    weighted = (violating * y).T @ x / len(batch)  # (classes, features)
+                    gradient_w -= weighted
+                    gradient_b -= (violating * y).mean(axis=0)
+                weights -= learning_rate * gradient_w
+                biases -= learning_rate * gradient_b
+
+        self.coef_ = weights
+        self.intercept_ = biases
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """One-vs-rest margins."""
+        check_fitted(self, "coef_")
+        return validate_xy(features) @ self.coef_.T + self.intercept_
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.decision_function(features), axis=1)]
+
+
+class SoftmaxRegression(BaseClassifier):
+    """Multinomial logistic regression trained with gradient descent."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        epochs: int = 200,
+        regularization: float = 1e-4,
+    ) -> None:
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.regularization = regularization
+        self.classes_: Optional[np.ndarray] = None
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: Optional[np.ndarray] = None
+
+    def _softmax(self, scores: np.ndarray) -> np.ndarray:
+        scores = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(scores)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "SoftmaxRegression":
+        features, labels = validate_xy(features, labels)
+        self.classes_ = np.unique(labels)
+        num_samples, num_features = features.shape
+        num_classes = len(self.classes_)
+        one_hot = (labels[:, None] == self.classes_[None, :]).astype(np.float64)
+        weights = np.zeros((num_classes, num_features))
+        biases = np.zeros(num_classes)
+        for _ in range(self.epochs):
+            probabilities = self._softmax(features @ weights.T + biases)
+            error = (probabilities - one_hot) / num_samples
+            weights -= self.learning_rate * (error.T @ features + self.regularization * weights)
+            biases -= self.learning_rate * error.sum(axis=0)
+        self.coef_ = weights
+        self.intercept_ = biases
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        check_fitted(self, "coef_")
+        return self._softmax(validate_xy(features) @ self.coef_.T + self.intercept_)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(features), axis=1)]

@@ -1,0 +1,82 @@
+"""k-nearest-neighbour classifier (distance-weighted voting)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import BaseClassifier, check_fitted, validate_xy
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier(BaseClassifier):
+    """Brute-force k-NN over the feature space.
+
+    Parameters
+    ----------
+    num_neighbors:
+        Number of neighbours voting for each query.
+    weighted:
+        Use inverse-distance weighting instead of a uniform vote.
+    chunk_size:
+        Queries are processed in chunks to bound the distance-matrix memory.
+    """
+
+    def __init__(self, num_neighbors: int = 5, weighted: bool = True, chunk_size: int = 256) -> None:
+        if num_neighbors < 1:
+            raise ValueError("num_neighbors must be at least 1")
+        self.num_neighbors = num_neighbors
+        self.weighted = weighted
+        self.chunk_size = chunk_size
+        self.features_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KNeighborsClassifier":
+        features, labels = validate_xy(features, labels)
+        if len(labels) < self.num_neighbors:
+            raise ValueError(
+                f"need at least {self.num_neighbors} training samples, got {len(labels)}"
+            )
+        self.features_ = features
+        self.labels_ = labels
+        self.classes_ = np.unique(labels)
+        return self
+
+    def _vote(self, queries: np.ndarray) -> np.ndarray:
+        distances = (
+            (queries**2).sum(axis=1, keepdims=True)
+            - 2.0 * queries @ self.features_.T
+            + (self.features_**2).sum(axis=1)[None, :]
+        )
+        distances = np.maximum(distances, 0.0)
+        neighbor_indices = np.argpartition(distances, self.num_neighbors - 1, axis=1)[
+            :, : self.num_neighbors
+        ]
+        neighbor_labels = self.labels_[neighbor_indices]
+        if self.weighted:
+            neighbor_distances = np.take_along_axis(distances, neighbor_indices, axis=1)
+            weights = 1.0 / (np.sqrt(neighbor_distances) + 1e-9)
+        else:
+            weights = np.ones_like(neighbor_labels, dtype=np.float64)
+        votes = np.zeros((queries.shape[0], len(self.classes_)))
+        for class_index, label in enumerate(self.classes_):
+            votes[:, class_index] = np.where(neighbor_labels == label, weights, 0.0).sum(axis=1)
+        return votes
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        check_fitted(self, "features_")
+        features = validate_xy(features)
+        probabilities = np.zeros((features.shape[0], len(self.classes_)))
+        for start in range(0, features.shape[0], self.chunk_size):
+            chunk = features[start : start + self.chunk_size]
+            votes = self._vote(chunk)
+            probabilities[start : start + self.chunk_size] = votes / np.maximum(
+                votes.sum(axis=1, keepdims=True), 1e-12
+            )
+        return probabilities
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(features), axis=1)]

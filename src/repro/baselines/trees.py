@@ -1,0 +1,239 @@
+"""Decision trees and random forests (from scratch, NumPy only).
+
+Random forests are one of the classical sEMG gesture classifiers the paper's
+related work compares against.  The implementation here is a straightforward
+CART:
+
+* :class:`DecisionTreeClassifier` — greedy Gini-impurity splits with depth /
+  leaf-size stopping rules and per-split feature subsampling (so the same
+  class doubles as the forest's base learner);
+* :class:`RandomForestClassifier` — bootstrap-aggregated trees with
+  majority (probability-averaged) voting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .base import BaseClassifier, check_fitted, validate_xy
+
+__all__ = ["DecisionTreeClassifier", "RandomForestClassifier"]
+
+
+@dataclass
+class _Node:
+    """One node of a fitted decision tree."""
+
+    prediction: np.ndarray  # class-probability vector at this node
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = counts / total
+    return float(1.0 - (proportions**2).sum())
+
+
+class DecisionTreeClassifier(BaseClassifier):
+    """CART classification tree with Gini-impurity splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (``None`` = grow until pure / too small).
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    max_features:
+        Number of candidate features per split (``None`` = all, ``"sqrt"`` =
+        square root of the feature count — the forest default).
+    seed:
+        Seed for the per-split feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = 12,
+        min_samples_split: int = 4,
+        max_features: Optional[object] = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be at least 2")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self.root_: Optional[_Node] = None
+        self.classes_: Optional[np.ndarray] = None
+        self.num_features_: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def _num_candidate_features(self) -> int:
+        if self.max_features is None:
+            return self.num_features_
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(self.num_features_)))
+        return min(int(self.max_features), self.num_features_)
+
+    def _best_split(self, features, class_indices, rng):
+        num_samples = features.shape[0]
+        parent_counts = np.bincount(class_indices, minlength=len(self.classes_))
+        parent_impurity = _gini(parent_counts)
+        best = None
+        candidates = rng.choice(
+            self.num_features_, size=self._num_candidate_features(), replace=False
+        )
+        for feature in candidates:
+            order = np.argsort(features[:, feature], kind="stable")
+            sorted_values = features[order, feature]
+            sorted_classes = class_indices[order]
+            left_counts = np.zeros(len(self.classes_))
+            right_counts = parent_counts.astype(np.float64).copy()
+            for split_point in range(1, num_samples):
+                moved = sorted_classes[split_point - 1]
+                left_counts[moved] += 1
+                right_counts[moved] -= 1
+                if sorted_values[split_point] == sorted_values[split_point - 1]:
+                    continue
+                left_fraction = split_point / num_samples
+                impurity = left_fraction * _gini(left_counts) + (1 - left_fraction) * _gini(
+                    right_counts
+                )
+                gain = parent_impurity - impurity
+                if best is None or gain > best[0]:
+                    threshold = 0.5 * (sorted_values[split_point] + sorted_values[split_point - 1])
+                    best = (gain, feature, threshold)
+        if best is None or best[0] <= 1e-12:
+            return None
+        return best[1], best[2]
+
+    def _grow(self, features, class_indices, depth, rng) -> _Node:
+        counts = np.bincount(class_indices, minlength=len(self.classes_)).astype(np.float64)
+        prediction = counts / counts.sum()
+        node = _Node(prediction=prediction)
+        if (
+            (self.max_depth is not None and depth >= self.max_depth)
+            or features.shape[0] < self.min_samples_split
+            or counts.max() == counts.sum()
+        ):
+            return node
+        split = self._best_split(features, class_indices, rng)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = features[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return node
+        node.feature = int(feature)
+        node.threshold = float(threshold)
+        node.left = self._grow(features[mask], class_indices[mask], depth + 1, rng)
+        node.right = self._grow(features[~mask], class_indices[~mask], depth + 1, rng)
+        return node
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
+        features, labels = validate_xy(features, labels)
+        self.classes_ = np.unique(labels)
+        class_indices = np.searchsorted(self.classes_, labels)
+        self.num_features_ = features.shape[1]
+        rng = np.random.default_rng(self.seed)
+        self.root_ = self._grow(features, class_indices, depth=0, rng=rng)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+    def _leaf_probabilities(self, sample: np.ndarray) -> np.ndarray:
+        node = self.root_
+        while not node.is_leaf:
+            node = node.left if sample[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        check_fitted(self, "root_")
+        features = validate_xy(features)
+        return np.stack([self._leaf_probabilities(sample) for sample in features])
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(features), axis=1)]
+
+    def depth(self) -> int:
+        """Depth of the fitted tree (0 for a single leaf)."""
+        check_fitted(self, "root_")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root_)
+
+
+class RandomForestClassifier(BaseClassifier):
+    """Bootstrap-aggregated decision trees with probability averaging."""
+
+    def __init__(
+        self,
+        num_trees: int = 30,
+        max_depth: Optional[int] = 10,
+        min_samples_split: int = 4,
+        max_features: object = "sqrt",
+        seed: int = 0,
+    ) -> None:
+        if num_trees < 1:
+            raise ValueError("num_trees must be at least 1")
+        self.num_trees = num_trees
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_: Optional[List[DecisionTreeClassifier]] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomForestClassifier":
+        features, labels = validate_xy(features, labels)
+        rng = np.random.default_rng(self.seed)
+        self.classes_ = np.unique(labels)
+        self.trees_ = []
+        num_samples = features.shape[0]
+        for index in range(self.num_trees):
+            bootstrap = rng.integers(0, num_samples, size=num_samples)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=self.max_features,
+                seed=self.seed + index + 1,
+            )
+            tree.fit(features[bootstrap], labels[bootstrap])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        check_fitted(self, "trees_")
+        features = validate_xy(features)
+        probabilities = np.zeros((features.shape[0], len(self.classes_)))
+        for tree in self.trees_:
+            tree_probabilities = tree.predict_proba(features)
+            # Trees trained on bootstrap samples may miss rare classes; align
+            # their columns onto the forest's class set.
+            column_map = np.searchsorted(self.classes_, tree.classes_)
+            probabilities[:, column_map] += tree_probabilities
+        return probabilities / self.num_trees
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(features), axis=1)]

@@ -1,0 +1,85 @@
+"""``repro.data`` — the sEMG data substrate.
+
+Contains the synthetic surface-EMG signal model, the NinaPro DB6 surrogate
+dataset with the paper's subject/session/window geometry, sliding-window
+segmentation, mini-batch loading, signal preprocessing (filtering,
+rectification, envelopes), training-time augmentation, and a loader for the
+real NinaPro ``.mat`` recordings for users who have them.
+"""
+
+from .augmentation import (
+    Augmenter,
+    AugmentationConfig,
+    amplitude_scale,
+    channel_dropout,
+    channel_shift,
+    jitter,
+    magnitude_warp,
+    time_shift,
+    time_warp,
+)
+from .dataset import ArrayDataset, DataLoader, normalize_windows
+from .matfile import MatLoaderConfig, MatRecording, NinaProMatLoader, load_mat_recording
+from .ninapro import GESTURE_NAMES, NinaProDB6, NinaProDB6Config
+from .preprocessing import (
+    PreprocessingConfig,
+    Preprocessor,
+    bandpass_filter,
+    envelope,
+    moving_average,
+    mu_law_compress,
+    notch_filter,
+    rectify,
+    standardize,
+)
+from .semg import (
+    GestureLibrary,
+    SemgConfig,
+    SemgSynthesizer,
+    SessionConditions,
+    SubjectModel,
+)
+from .splits import SubjectSplit, stratified_subsample, subject_split
+from .windowing import segment_recording, sliding_window_count, sliding_windows
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "normalize_windows",
+    "GESTURE_NAMES",
+    "NinaProDB6",
+    "NinaProDB6Config",
+    "SemgConfig",
+    "SemgSynthesizer",
+    "GestureLibrary",
+    "SubjectModel",
+    "SessionConditions",
+    "SubjectSplit",
+    "subject_split",
+    "stratified_subsample",
+    "segment_recording",
+    "sliding_windows",
+    "sliding_window_count",
+    "PreprocessingConfig",
+    "Preprocessor",
+    "bandpass_filter",
+    "notch_filter",
+    "rectify",
+    "envelope",
+    "moving_average",
+    "mu_law_compress",
+    "standardize",
+    "AugmentationConfig",
+    "Augmenter",
+    "jitter",
+    "amplitude_scale",
+    "channel_dropout",
+    "channel_shift",
+    "time_shift",
+    "time_warp",
+    "magnitude_warp",
+    "MatRecording",
+    "MatLoaderConfig",
+    "NinaProMatLoader",
+    "load_mat_recording",
+]

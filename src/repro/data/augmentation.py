@@ -1,0 +1,219 @@
+"""Data augmentation for sEMG windows.
+
+The paper's inter-subject pre-training attacks the small-data problem with
+more *subjects*; augmentation attacks it with more *views* of the same
+windows and is the standard complement (and one of the extensions the
+reduced-scale experiments in this repository use to stabilise training).
+Every transform models a physically plausible perturbation of an sEMG
+recording:
+
+* :func:`jitter` — additive measurement noise;
+* :func:`amplitude_scale` — electrode-gain / impedance variation;
+* :func:`channel_dropout` — an electrode losing skin contact;
+* :func:`channel_shift` — electrode-array rotation around the forearm
+  (donning/doffing misplacement);
+* :func:`time_shift` — window misalignment relative to the contraction;
+* :func:`time_warp` — small variations in contraction speed;
+* :func:`magnitude_warp` — slow gain drift within the window.
+
+All transforms take and return ``(windows, channels, samples)`` batches and
+never modify their input in place.  :class:`Augmenter` composes a random
+subset per window, mirroring the usual training-time pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "jitter",
+    "amplitude_scale",
+    "channel_dropout",
+    "channel_shift",
+    "time_shift",
+    "time_warp",
+    "magnitude_warp",
+    "AugmentationConfig",
+    "Augmenter",
+]
+
+
+def _as_batch(windows: np.ndarray) -> np.ndarray:
+    windows = np.asarray(windows, dtype=np.float64)
+    if windows.ndim != 3:
+        raise ValueError(f"expected (windows, channels, samples), got shape {windows.shape}")
+    return windows.copy()
+
+
+def jitter(windows: np.ndarray, rng: np.random.Generator, sigma: float = 0.05) -> np.ndarray:
+    """Add Gaussian measurement noise with standard deviation ``sigma``."""
+    batch = _as_batch(windows)
+    return batch + rng.normal(scale=sigma, size=batch.shape)
+
+
+def amplitude_scale(
+    windows: np.ndarray, rng: np.random.Generator, sigma: float = 0.1
+) -> np.ndarray:
+    """Scale every channel by an independent gain drawn around 1."""
+    batch = _as_batch(windows)
+    gains = rng.normal(loc=1.0, scale=sigma, size=(batch.shape[0], batch.shape[1], 1))
+    return batch * np.clip(gains, 0.1, None)
+
+
+def channel_dropout(
+    windows: np.ndarray, rng: np.random.Generator, probability: float = 0.1
+) -> np.ndarray:
+    """Zero out whole channels with the given per-channel probability."""
+    if not 0.0 <= probability < 1.0:
+        raise ValueError("probability must lie in [0, 1)")
+    batch = _as_batch(windows)
+    keep = rng.random(size=(batch.shape[0], batch.shape[1], 1)) >= probability
+    return batch * keep
+
+
+def channel_shift(
+    windows: np.ndarray, rng: np.random.Generator, max_shift: int = 1
+) -> np.ndarray:
+    """Cyclically rotate the electrode axis by up to ``max_shift`` positions.
+
+    Models the electrode array being donned slightly rotated around the
+    forearm relative to the training sessions.
+    """
+    if max_shift < 0:
+        raise ValueError("max_shift must be non-negative")
+    batch = _as_batch(windows)
+    output = np.empty_like(batch)
+    shifts = rng.integers(-max_shift, max_shift + 1, size=batch.shape[0])
+    for index, shift in enumerate(shifts):
+        output[index] = np.roll(batch[index], int(shift), axis=0)
+    return output
+
+
+def time_shift(
+    windows: np.ndarray, rng: np.random.Generator, max_fraction: float = 0.1
+) -> np.ndarray:
+    """Cyclically shift every window in time by up to ``max_fraction`` of its length."""
+    if not 0.0 <= max_fraction <= 1.0:
+        raise ValueError("max_fraction must lie in [0, 1]")
+    batch = _as_batch(windows)
+    samples = batch.shape[-1]
+    limit = max(1, int(round(max_fraction * samples)))
+    output = np.empty_like(batch)
+    shifts = rng.integers(-limit, limit + 1, size=batch.shape[0])
+    for index, shift in enumerate(shifts):
+        output[index] = np.roll(batch[index], int(shift), axis=-1)
+    return output
+
+
+def time_warp(
+    windows: np.ndarray, rng: np.random.Generator, max_speed_change: float = 0.15
+) -> np.ndarray:
+    """Resample every window at a slightly different speed (linear interpolation)."""
+    if not 0.0 <= max_speed_change < 1.0:
+        raise ValueError("max_speed_change must lie in [0, 1)")
+    batch = _as_batch(windows)
+    num_windows, channels, samples = batch.shape
+    original_grid = np.arange(samples)
+    output = np.empty_like(batch)
+    speeds = 1.0 + rng.uniform(-max_speed_change, max_speed_change, size=num_windows)
+    for index, speed in enumerate(speeds):
+        warped_grid = np.clip(np.arange(samples) * speed, 0, samples - 1)
+        for channel in range(channels):
+            output[index, channel] = np.interp(warped_grid, original_grid, batch[index, channel])
+    return output
+
+
+def magnitude_warp(
+    windows: np.ndarray,
+    rng: np.random.Generator,
+    sigma: float = 0.2,
+    num_knots: int = 4,
+) -> np.ndarray:
+    """Multiply every window by a smooth random gain curve (slow drift)."""
+    if num_knots < 2:
+        raise ValueError("num_knots must be at least 2")
+    batch = _as_batch(windows)
+    num_windows, channels, samples = batch.shape
+    knot_positions = np.linspace(0, samples - 1, num_knots)
+    grid = np.arange(samples)
+    curves = np.empty((num_windows, samples))
+    for index in range(num_windows):
+        knot_values = rng.normal(loc=1.0, scale=sigma, size=num_knots)
+        curves[index] = np.interp(grid, knot_positions, knot_values)
+    return batch * curves[:, None, :]
+
+
+@dataclass
+class AugmentationConfig:
+    """Which transforms the :class:`Augmenter` applies, and how strongly."""
+
+    jitter_sigma: float = 0.05
+    scale_sigma: float = 0.1
+    dropout_probability: float = 0.05
+    max_channel_shift: int = 1
+    max_time_shift_fraction: float = 0.05
+    max_speed_change: float = 0.1
+    magnitude_sigma: float = 0.15
+    #: Probability of applying each individual transform to a batch.
+    apply_probability: float = 0.5
+    #: Transform names to use; ``None`` means all of them.
+    transforms: Optional[Tuple[str, ...]] = None
+
+
+class Augmenter:
+    """Composable, reproducible augmentation pipeline for window batches."""
+
+    def __init__(self, config: Optional[AugmentationConfig] = None, seed: int = 0) -> None:
+        self.config = config if config is not None else AugmentationConfig()
+        self._rng = np.random.default_rng(seed)
+        self._registry: Dict[str, Callable[[np.ndarray, np.random.Generator], np.ndarray]] = {
+            "jitter": lambda w, r: jitter(w, r, self.config.jitter_sigma),
+            "amplitude_scale": lambda w, r: amplitude_scale(w, r, self.config.scale_sigma),
+            "channel_dropout": lambda w, r: channel_dropout(
+                w, r, self.config.dropout_probability
+            ),
+            "channel_shift": lambda w, r: channel_shift(w, r, self.config.max_channel_shift),
+            "time_shift": lambda w, r: time_shift(w, r, self.config.max_time_shift_fraction),
+            "time_warp": lambda w, r: time_warp(w, r, self.config.max_speed_change),
+            "magnitude_warp": lambda w, r: magnitude_warp(w, r, self.config.magnitude_sigma),
+        }
+        selected = self.config.transforms
+        if selected is not None:
+            unknown = [name for name in selected if name not in self._registry]
+            if unknown:
+                raise ValueError(f"unknown transforms {unknown}; available: {self.available()}")
+            self._active = list(selected)
+        else:
+            self._active = list(self._registry)
+
+    def available(self) -> List[str]:
+        """Names of every registered transform."""
+        return sorted(self._registry)
+
+    def __call__(self, windows: np.ndarray) -> np.ndarray:
+        """Apply a random subset of the active transforms to a window batch."""
+        batch = _as_batch(windows)
+        for name in self._active:
+            if self._rng.random() < self.config.apply_probability:
+                batch = self._registry[name](batch, self._rng)
+        return batch
+
+    def augment_dataset(self, windows: np.ndarray, labels: np.ndarray, copies: int = 1):
+        """Return the original batch plus ``copies`` augmented copies.
+
+        Labels are replicated accordingly; useful for oversampling the small
+        subject-specific fine-tuning sets.
+        """
+        if copies < 0:
+            raise ValueError("copies must be non-negative")
+        windows = _as_batch(windows)
+        labels = np.asarray(labels)
+        augmented = [windows]
+        augmented_labels = [labels]
+        for _ in range(copies):
+            augmented.append(self(windows))
+            augmented_labels.append(labels)
+        return np.concatenate(augmented, axis=0), np.concatenate(augmented_labels, axis=0)

@@ -1,0 +1,143 @@
+"""In-memory datasets and mini-batch loading."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader", "normalize_windows"]
+
+
+def normalize_windows(windows: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Standardise each window globally (zero mean, unit variance per window).
+
+    The statistics are computed over *all* channels and samples of a window:
+    removing the common gain and offset makes the pipeline robust to
+    session-dependent electrode impedance while keeping quantisation ranges
+    stable, but — crucially — it preserves the *relative* amplitude pattern
+    across electrodes, which is the primary cue distinguishing grasps.
+    (Per-channel standardisation would erase that pattern.)
+    """
+    axes = tuple(range(1, windows.ndim))
+    mean = windows.mean(axis=axes, keepdims=True)
+    std = windows.std(axis=axes, keepdims=True)
+    return (windows - mean) / (std + eps)
+
+
+class ArrayDataset:
+    """A dataset of windows and labels held as NumPy arrays.
+
+    Parameters
+    ----------
+    windows:
+        Array of shape ``(num_windows, channels, samples)``.
+    labels:
+        Integer labels of shape ``(num_windows,)``.
+    metadata:
+        Optional per-window metadata (subject, session, repetition) as a
+        structured array or dict of arrays; carried along for analysis.
+    """
+
+    def __init__(
+        self,
+        windows: np.ndarray,
+        labels: np.ndarray,
+        metadata: Optional[dict] = None,
+    ) -> None:
+        windows = np.asarray(windows)
+        labels = np.asarray(labels, dtype=np.int64)
+        if windows.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"windows and labels disagree on length: {windows.shape[0]} vs {labels.shape[0]}"
+            )
+        self.windows = windows
+        self.labels = labels
+        self.metadata = metadata or {}
+
+    def __len__(self) -> int:
+        return self.windows.shape[0]
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.windows[index], self.labels[index]
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct classes present in the labels."""
+        return int(self.labels.max()) + 1 if len(self) else 0
+
+    def class_counts(self) -> np.ndarray:
+        """Histogram of labels (useful for checking class balance)."""
+        if len(self) == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """Return a new dataset restricted to ``indices``."""
+        metadata = {key: np.asarray(value)[indices] for key, value in self.metadata.items()}
+        return ArrayDataset(self.windows[indices], self.labels[indices], metadata)
+
+    @staticmethod
+    def concatenate(datasets: list) -> "ArrayDataset":
+        """Concatenate several datasets (metadata keys must agree)."""
+        datasets = [d for d in datasets if len(d)]
+        if not datasets:
+            raise ValueError("cannot concatenate zero non-empty datasets")
+        windows = np.concatenate([d.windows for d in datasets], axis=0)
+        labels = np.concatenate([d.labels for d in datasets], axis=0)
+        keys = set(datasets[0].metadata)
+        metadata = {}
+        for key in keys:
+            if all(key in d.metadata for d in datasets):
+                metadata[key] = np.concatenate([np.asarray(d.metadata[key]) for d in datasets])
+        return ArrayDataset(windows, labels, metadata)
+
+
+class DataLoader:
+    """Mini-batch iterator over an :class:`ArrayDataset`.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Number of windows per batch.
+    shuffle:
+        Whether to reshuffle the order at the start of every epoch.
+    rng:
+        Random generator used for shuffling (required when ``shuffle``).
+    drop_last:
+        Drop the final incomplete batch (keeps batch statistics stable).
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            batch_indices = order[start : start + self.batch_size]
+            if self.drop_last and len(batch_indices) < self.batch_size:
+                break
+            yield self.dataset.windows[batch_indices], self.dataset.labels[batch_indices]

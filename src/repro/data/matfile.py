@@ -1,0 +1,258 @@
+"""Loader for real NinaPro DB6 recordings stored as MATLAB ``.mat`` files.
+
+The synthetic :class:`~repro.data.ninapro.NinaProDB6` surrogate is what the
+offline benchmark harness trains on, but a user with access to the real
+database (https://ninapro.hevs.ch, one ``.mat`` file per subject/session,
+e.g. ``S1_D1_T1.mat``) should be able to drop it into the same pipeline.
+This module parses those files with :func:`scipy.io.loadmat`, relabels the
+DB6 grasp stimuli to the contiguous 8-class encoding used by the paper, and
+segments the recordings with the same 150 ms / 15 ms sliding windows as the
+synthetic dataset — yielding the familiar :class:`ArrayDataset` objects.
+
+The NinaPro field conventions handled here:
+
+* ``emg`` — ``(samples, 14)`` raw electrode data;
+* ``restimulus`` (preferred) or ``stimulus`` — per-sample gesture id, with 0
+  meaning rest;
+* ``rerepetition`` / ``repetition`` — per-sample repetition counter.
+
+Nothing in the test-suite depends on real files being present; the loader
+is exercised against synthetic ``.mat`` files written with
+:func:`scipy.io.savemat`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import io as sp_io
+
+from .dataset import ArrayDataset, normalize_windows
+from .preprocessing import Preprocessor
+from .windowing import sliding_windows
+
+__all__ = ["MatRecording", "MatLoaderConfig", "load_mat_recording", "NinaProMatLoader"]
+
+#: Default mapping from DB6 stimulus ids to the paper's 8 contiguous classes
+#: (0 = rest, 1-7 = the seven grasps).
+_DEFAULT_CLASS_MAP = {0: 0, 1: 1, 2: 2, 3: 3, 4: 4, 5: 5, 6: 6, 7: 7}
+
+#: File name convention of the DB6 release: S<subject>_D<day>_T<time>.mat.
+_FILENAME_PATTERN = re.compile(r"S(?P<subject>\d+)_D(?P<day>\d+)_T(?P<time>\d+)", re.IGNORECASE)
+
+
+@dataclass
+class MatRecording:
+    """One parsed NinaPro recording (continuous, before windowing)."""
+
+    emg: np.ndarray  # (channels, samples)
+    stimulus: np.ndarray  # (samples,)
+    repetition: np.ndarray  # (samples,)
+    subject: Optional[int] = None
+    session: Optional[int] = None
+    source: str = ""
+
+    @property
+    def num_channels(self) -> int:
+        return self.emg.shape[0]
+
+    @property
+    def num_samples(self) -> int:
+        return self.emg.shape[1]
+
+    @property
+    def gestures_present(self) -> np.ndarray:
+        """Sorted unique gesture ids occurring in the recording."""
+        return np.unique(self.stimulus)
+
+
+def _first_field(contents: Dict[str, np.ndarray], names: Sequence[str]) -> Optional[np.ndarray]:
+    for name in names:
+        if name in contents:
+            return np.asarray(contents[name])
+    return None
+
+
+def parse_session_from_filename(path: str) -> Tuple[Optional[int], Optional[int]]:
+    """Extract ``(subject, session)`` from a DB6-style file name.
+
+    DB6 numbers sessions 1-10 as five days times two daily acquisitions
+    (``D1_T1`` -> session 1, ``D1_T2`` -> session 2, ...).
+    """
+    match = _FILENAME_PATTERN.search(os.path.basename(path))
+    if match is None:
+        return None, None
+    subject = int(match.group("subject"))
+    session = (int(match.group("day")) - 1) * 2 + int(match.group("time"))
+    return subject, session
+
+
+def load_mat_recording(path: str, class_map: Optional[Dict[int, int]] = None) -> MatRecording:
+    """Load one NinaPro ``.mat`` file into a :class:`MatRecording`.
+
+    Raises
+    ------
+    FileNotFoundError
+        When the path does not exist.
+    KeyError
+        When the file has no ``emg`` variable or no stimulus variable.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    contents = sp_io.loadmat(path)
+    emg = _first_field(contents, ("emg", "EMG"))
+    if emg is None:
+        raise KeyError(f"{path} contains no 'emg' variable")
+    stimulus = _first_field(contents, ("restimulus", "stimulus"))
+    if stimulus is None:
+        raise KeyError(f"{path} contains no 'restimulus'/'stimulus' variable")
+    repetition = _first_field(contents, ("rerepetition", "repetition"))
+    if repetition is None:
+        repetition = np.zeros(stimulus.size, dtype=np.int64)
+
+    emg = np.asarray(emg, dtype=np.float64)
+    if emg.shape[0] > emg.shape[1]:
+        # NinaPro stores (samples, channels); the pipeline wants (channels, samples).
+        emg = emg.T
+    stimulus = np.asarray(stimulus).reshape(-1).astype(np.int64)
+    repetition = np.asarray(repetition).reshape(-1).astype(np.int64)
+    length = min(emg.shape[1], stimulus.size, repetition.size)
+    emg, stimulus, repetition = emg[:, :length], stimulus[:length], repetition[:length]
+
+    mapping = class_map if class_map is not None else _DEFAULT_CLASS_MAP
+    remapped = np.full_like(stimulus, -1)
+    for raw, target in mapping.items():
+        remapped[stimulus == raw] = target
+
+    subject, session = parse_session_from_filename(path)
+    return MatRecording(
+        emg=emg,
+        stimulus=remapped,
+        repetition=repetition,
+        subject=subject,
+        session=session,
+        source=path,
+    )
+
+
+@dataclass
+class MatLoaderConfig:
+    """Windowing / preprocessing settings for the real-recording loader."""
+
+    sampling_rate_hz: float = 2000.0
+    window_ms: float = 150.0
+    slide_ms: float = 15.0
+    #: Drop windows whose samples span more than one gesture label.
+    require_homogeneous_labels: bool = True
+    #: Discard samples whose stimulus is not covered by the class map.
+    drop_unmapped: bool = True
+    normalize: bool = True
+    preprocessor: Optional[Preprocessor] = None
+    class_map: Dict[int, int] = field(default_factory=lambda: dict(_DEFAULT_CLASS_MAP))
+
+    @property
+    def window_samples(self) -> int:
+        return int(round(self.window_ms * 1e-3 * self.sampling_rate_hz))
+
+    @property
+    def slide_samples(self) -> int:
+        return max(1, int(round(self.slide_ms * 1e-3 * self.sampling_rate_hz)))
+
+    def validate(self) -> None:
+        if self.sampling_rate_hz <= 0:
+            raise ValueError("sampling_rate_hz must be positive")
+        if self.window_samples < 1:
+            raise ValueError("window_ms too short for the sampling rate")
+
+
+class NinaProMatLoader:
+    """Converts real NinaPro recordings into the repository's window datasets."""
+
+    def __init__(self, config: Optional[MatLoaderConfig] = None) -> None:
+        self.config = config if config is not None else MatLoaderConfig()
+        self.config.validate()
+
+    # ------------------------------------------------------------------ #
+    # Recording -> windows
+    # ------------------------------------------------------------------ #
+    def windows_from_recording(self, recording: MatRecording) -> ArrayDataset:
+        """Segment one recording into labelled windows."""
+        config = self.config
+        emg = recording.emg
+        if config.preprocessor is not None:
+            emg = config.preprocessor(emg)
+        window, slide = config.window_samples, config.slide_samples
+        windows = sliding_windows(emg, window, slide)
+        if windows.shape[0] == 0:
+            return ArrayDataset(
+                np.empty((0, recording.num_channels, window)), np.empty(0, dtype=np.int64)
+            )
+        starts = np.arange(windows.shape[0]) * slide
+        label_matrix = recording.stimulus[starts[:, None] + np.arange(window)[None, :]]
+        majority = np.apply_along_axis(
+            lambda row: np.bincount(row + 1, minlength=1).argmax() - 1, 1, label_matrix
+        )
+        keep = np.ones(windows.shape[0], dtype=bool)
+        if config.require_homogeneous_labels:
+            keep &= (label_matrix == label_matrix[:, :1]).all(axis=1)
+        if config.drop_unmapped:
+            keep &= majority >= 0
+        windows, majority = windows[keep], majority[keep]
+        if config.normalize and windows.shape[0]:
+            windows = normalize_windows(windows)
+        metadata = {
+            "session": np.full(windows.shape[0], recording.session or 0, dtype=np.int64),
+            "subject": np.full(windows.shape[0], recording.subject or 0, dtype=np.int64),
+        }
+        return ArrayDataset(windows, majority.astype(np.int64), metadata)
+
+    def load_file(self, path: str) -> ArrayDataset:
+        """Load and window one ``.mat`` file."""
+        return self.windows_from_recording(load_mat_recording(path, self.config.class_map))
+
+    # ------------------------------------------------------------------ #
+    # Directory -> per-session datasets
+    # ------------------------------------------------------------------ #
+    def discover(self, directory: str, subject: Optional[int] = None) -> List[str]:
+        """Find DB6-style ``.mat`` files under ``directory`` (optionally one subject)."""
+        if not os.path.isdir(directory):
+            raise FileNotFoundError(directory)
+        paths = []
+        for name in sorted(os.listdir(directory)):
+            if not name.lower().endswith(".mat"):
+                continue
+            file_subject, _ = parse_session_from_filename(name)
+            if subject is not None and file_subject != subject:
+                continue
+            paths.append(os.path.join(directory, name))
+        return paths
+
+    def load_subject(self, directory: str, subject: int) -> Dict[int, ArrayDataset]:
+        """Load every session of one subject, keyed by session number."""
+        sessions: Dict[int, ArrayDataset] = {}
+        for path in self.discover(directory, subject=subject):
+            _, session = parse_session_from_filename(path)
+            dataset = self.load_file(path)
+            if session is None or len(dataset) == 0:
+                continue
+            if session in sessions:
+                sessions[session] = ArrayDataset.concatenate([sessions[session], dataset])
+            else:
+                sessions[session] = dataset
+        return sessions
+
+    def train_test_split(
+        self,
+        sessions: Dict[int, ArrayDataset],
+        training_sessions: Sequence[int] = (1, 2, 3, 4, 5),
+    ) -> Tuple[ArrayDataset, ArrayDataset]:
+        """Assemble the paper's protocol split from per-session datasets."""
+        train = [dataset for session, dataset in sessions.items() if session in training_sessions]
+        test = [dataset for session, dataset in sessions.items() if session not in training_sessions]
+        if not train or not test:
+            raise ValueError("need at least one training and one testing session")
+        return ArrayDataset.concatenate(train), ArrayDataset.concatenate(test)

@@ -1,0 +1,180 @@
+"""sEMG signal preprocessing: filtering, rectification, envelopes, scaling.
+
+Real sEMG acquisitions (NinaPro DB6 included) are conditioned before they
+reach a classifier: power-line interference is notched out, the signal is
+band-limited to the EMG band (~20-500 Hz), and for envelope-based pipelines
+it is rectified and low-pass filtered.  The paper feeds raw windows to its
+networks, but the preprocessing stage is part of any deployable sEMG system
+and is also what the classical baselines and the real-recording loader use.
+
+Everything operates on arrays shaped ``(channels, samples)`` or
+``(windows, channels, samples)`` and filters along the last axis using
+zero-phase (forward-backward) IIR filtering from SciPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import signal as sp_signal
+
+__all__ = [
+    "bandpass_filter",
+    "notch_filter",
+    "rectify",
+    "moving_average",
+    "envelope",
+    "mu_law_compress",
+    "standardize",
+    "PreprocessingConfig",
+    "Preprocessor",
+]
+
+
+def _check_sampling(sampling_rate_hz: float) -> None:
+    if sampling_rate_hz <= 0:
+        raise ValueError("sampling_rate_hz must be positive")
+
+
+def bandpass_filter(
+    signal: np.ndarray,
+    sampling_rate_hz: float,
+    low_hz: float = 20.0,
+    high_hz: float = 500.0,
+    order: int = 4,
+) -> np.ndarray:
+    """Zero-phase Butterworth band-pass along the last axis.
+
+    The pass band defaults to the usual surface-EMG band (20-500 Hz); the
+    upper edge is clipped below Nyquist for low-rate synthetic presets.
+    """
+    _check_sampling(sampling_rate_hz)
+    nyquist = sampling_rate_hz / 2.0
+    high_hz = min(high_hz, 0.99 * nyquist)
+    if not 0.0 < low_hz < high_hz:
+        raise ValueError(f"invalid band ({low_hz}, {high_hz}) Hz at fs={sampling_rate_hz} Hz")
+    coefficients = sp_signal.butter(order, [low_hz / nyquist, high_hz / nyquist], btype="band")
+    return sp_signal.filtfilt(*coefficients, np.asarray(signal, dtype=np.float64), axis=-1)
+
+
+def notch_filter(
+    signal: np.ndarray,
+    sampling_rate_hz: float,
+    notch_hz: float = 50.0,
+    quality: float = 30.0,
+) -> np.ndarray:
+    """Zero-phase IIR notch removing power-line interference (50/60 Hz)."""
+    _check_sampling(sampling_rate_hz)
+    nyquist = sampling_rate_hz / 2.0
+    if not 0.0 < notch_hz < nyquist:
+        raise ValueError(f"notch frequency {notch_hz} Hz outside (0, {nyquist}) Hz")
+    numerator, denominator = sp_signal.iirnotch(notch_hz / nyquist, quality)
+    return sp_signal.filtfilt(numerator, denominator, np.asarray(signal, dtype=np.float64), axis=-1)
+
+
+def rectify(signal: np.ndarray) -> np.ndarray:
+    """Full-wave rectification (absolute value)."""
+    return np.abs(np.asarray(signal, dtype=np.float64))
+
+
+def moving_average(signal: np.ndarray, window_samples: int) -> np.ndarray:
+    """Causal moving average along the last axis (same length as the input)."""
+    if window_samples < 1:
+        raise ValueError("window_samples must be at least 1")
+    signal = np.asarray(signal, dtype=np.float64)
+    kernel = np.ones(window_samples) / window_samples
+    padded = np.concatenate(
+        [np.repeat(signal[..., :1], window_samples - 1, axis=-1), signal], axis=-1
+    )
+    return np.apply_along_axis(lambda row: np.convolve(row, kernel, mode="valid"), -1, padded)
+
+
+def envelope(
+    signal: np.ndarray, sampling_rate_hz: float, smoothing_ms: float = 20.0
+) -> np.ndarray:
+    """Linear envelope: rectification followed by a moving-average low-pass."""
+    _check_sampling(sampling_rate_hz)
+    window = max(1, int(round(smoothing_ms * 1e-3 * sampling_rate_hz)))
+    return moving_average(rectify(signal), window)
+
+
+def mu_law_compress(signal: np.ndarray, mu: float = 255.0) -> np.ndarray:
+    """Mu-law amplitude compression onto [-1, 1] (common for sEMG dynamic range)."""
+    if mu <= 0:
+        raise ValueError("mu must be positive")
+    signal = np.asarray(signal, dtype=np.float64)
+    scale = np.max(np.abs(signal))
+    if scale == 0:
+        return np.zeros_like(signal)
+    normalized = signal / scale
+    return np.sign(normalized) * np.log1p(mu * np.abs(normalized)) / np.log1p(mu)
+
+
+def standardize(signal: np.ndarray, axis: Optional[Tuple[int, ...]] = None, eps: float = 1e-8) -> np.ndarray:
+    """Zero-mean / unit-variance scaling over ``axis`` (all axes by default)."""
+    signal = np.asarray(signal, dtype=np.float64)
+    mean = signal.mean(axis=axis, keepdims=True)
+    std = signal.std(axis=axis, keepdims=True)
+    return (signal - mean) / (std + eps)
+
+
+@dataclass
+class PreprocessingConfig:
+    """Configuration of the standard sEMG conditioning chain."""
+
+    sampling_rate_hz: float = 2000.0
+    apply_bandpass: bool = True
+    band_hz: Tuple[float, float] = (20.0, 500.0)
+    apply_notch: bool = True
+    notch_hz: float = 50.0
+    notch_quality: float = 30.0
+    apply_envelope: bool = False
+    envelope_smoothing_ms: float = 20.0
+    apply_standardize: bool = True
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for inconsistent settings."""
+        _check_sampling(self.sampling_rate_hz)
+        low, high = self.band_hz
+        if self.apply_bandpass and not 0 < low < high:
+            raise ValueError("band_hz must satisfy 0 < low < high")
+        if self.apply_notch and not 0 < self.notch_hz < self.sampling_rate_hz / 2:
+            raise ValueError("notch_hz must be below Nyquist")
+
+
+class Preprocessor:
+    """The standard conditioning chain: notch -> band-pass -> envelope -> scale.
+
+    Example
+    -------
+    >>> preprocessor = Preprocessor(PreprocessingConfig(sampling_rate_hz=2000.0))
+    >>> conditioned = preprocessor(recording)          # (channels, samples)
+    """
+
+    def __init__(self, config: Optional[PreprocessingConfig] = None) -> None:
+        self.config = config if config is not None else PreprocessingConfig()
+        self.config.validate()
+
+    def __call__(self, signal: np.ndarray) -> np.ndarray:
+        return self.process(signal)
+
+    def process(self, signal: np.ndarray) -> np.ndarray:
+        """Apply the configured stages to ``signal`` (last axis = time)."""
+        config = self.config
+        processed = np.asarray(signal, dtype=np.float64)
+        if config.apply_notch:
+            processed = notch_filter(
+                processed, config.sampling_rate_hz, config.notch_hz, config.notch_quality
+            )
+        if config.apply_bandpass:
+            low, high = config.band_hz
+            processed = bandpass_filter(processed, config.sampling_rate_hz, low, high)
+        if config.apply_envelope:
+            processed = envelope(
+                processed, config.sampling_rate_hz, config.envelope_smoothing_ms
+            )
+        if config.apply_standardize:
+            processed = standardize(processed)
+        return processed

@@ -1,0 +1,80 @@
+"""Split helpers for the paper's training protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .dataset import ArrayDataset
+from .ninapro import NinaProDB6
+
+__all__ = ["SubjectSplit", "subject_split", "stratified_subsample"]
+
+
+@dataclass
+class SubjectSplit:
+    """All the data views one subject-specific experiment needs.
+
+    Attributes
+    ----------
+    pretrain:
+        Inter-subject pre-training corpus (all *other* subjects,
+        training sessions only).
+    train:
+        Subject-specific training set (sessions 1-5).
+    test:
+        Subject-specific multi-day test set (sessions 6-10).
+    test_per_session:
+        The test set broken down by session, for the Fig. 2 analysis.
+    """
+
+    subject: int
+    pretrain: ArrayDataset
+    train: ArrayDataset
+    test: ArrayDataset
+    test_per_session: Dict[int, ArrayDataset]
+
+
+def subject_split(dataset: NinaProDB6, subject: int, include_pretrain: bool = True) -> SubjectSplit:
+    """Build the full :class:`SubjectSplit` for ``subject``.
+
+    Set ``include_pretrain=False`` to skip generating the (larger)
+    inter-subject corpus when only standard training is required.
+    """
+    pretrain = (
+        dataset.pretraining_dataset(subject)
+        if include_pretrain and dataset.config.num_subjects > 1
+        else ArrayDataset(
+            np.empty((0,) + dataset.input_shape), np.empty((0,), dtype=np.int64)
+        )
+    )
+    return SubjectSplit(
+        subject=subject,
+        pretrain=pretrain,
+        train=dataset.training_dataset(subject),
+        test=dataset.testing_dataset(subject),
+        test_per_session=dataset.testing_dataset_per_session(subject),
+    )
+
+
+def stratified_subsample(
+    dataset: ArrayDataset, fraction: float, rng: np.random.Generator
+) -> ArrayDataset:
+    """Return a class-stratified random subsample of ``dataset``.
+
+    Used by the reduced-scale experiment presets to cut the pre-training
+    corpus while preserving the class balance.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must lie in (0, 1]")
+    if fraction == 1.0 or len(dataset) == 0:
+        return dataset
+    selected = []
+    for label in np.unique(dataset.labels):
+        indices = np.flatnonzero(dataset.labels == label)
+        keep = max(1, int(round(fraction * indices.size)))
+        selected.append(rng.choice(indices, size=keep, replace=False))
+    order = np.sort(np.concatenate(selected))
+    return dataset.subset(order)

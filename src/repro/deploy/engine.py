@@ -1,0 +1,207 @@
+"""Floating-point reference executor for deployment graphs.
+
+The float executor replays a traced :class:`~repro.deploy.graph.ComputeGraph`
+with plain NumPy (no autograd, evaluation semantics).  It serves three
+purposes:
+
+1. **Trace validation** — its output must match the original model's forward
+   pass, which proves the tracer captured every operator faithfully (the
+   test-suite enforces agreement to float tolerance);
+2. **Calibration** — :meth:`FloatGraphExecutor.run_recording` returns every
+   intermediate activation, which the int8 lowering pass uses to pick
+   activation scales;
+3. **Reference for the integer engine** — the integer executor in
+   :mod:`repro.deploy.int_engine` is checked against it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .graph import ComputeGraph, GraphNode
+
+__all__ = ["FloatGraphExecutor", "conv1d_reference", "gelu_reference", "softmax_reference"]
+
+
+def conv1d_reference(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: int,
+    padding: int,
+    dilation: int,
+) -> np.ndarray:
+    """Direct 1-D convolution over ``(batch, channels, length)`` inputs.
+
+    Implemented as an explicit sum over kernel taps (vectorised over batch,
+    channels and output positions), which keeps the arithmetic order simple
+    and makes the kernel easy to mirror in the integer engine and in the
+    generated C code.
+    """
+    batch, in_channels, length = x.shape
+    out_channels, weight_in, kernel = weight.shape
+    if weight_in != in_channels:
+        raise ValueError(
+            f"weight expects {weight_in} input channels, activation has {in_channels}"
+        )
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding)))
+        length = x.shape[-1]
+    effective = dilation * (kernel - 1) + 1
+    out_length = (length - effective) // stride + 1
+    if out_length <= 0:
+        raise ValueError("convolution produces an empty output")
+    output = np.zeros((batch, out_channels, out_length), dtype=x.dtype)
+    for tap in range(kernel):
+        start = tap * dilation
+        stop = start + stride * out_length
+        window = x[:, :, start:stop:stride]  # (B, C_in, out_length)
+        output += np.einsum("bcl,oc->bol", window, weight[:, :, tap])
+    if bias is not None:
+        output += bias.reshape(1, out_channels, 1)
+    return output
+
+
+def gelu_reference(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximated GELU (same formula as :func:`repro.nn.functional.gelu`)."""
+    coefficient = math.sqrt(2.0 / math.pi)
+    inner = coefficient * (x + 0.044715 * x**3)
+    return 0.5 * x * (1.0 + np.tanh(inner))
+
+
+def softmax_reference(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def avgpool1d_reference(x: np.ndarray, kernel_size: int, stride: int) -> np.ndarray:
+    """Average pooling over the last axis of ``(batch, channels, length)``."""
+    batch, channels, length = x.shape
+    out_length = (length - kernel_size) // stride + 1
+    output = np.zeros((batch, channels, out_length), dtype=x.dtype)
+    for tap in range(kernel_size):
+        output += x[:, :, tap : tap + stride * out_length : stride]
+    return output / kernel_size
+
+
+def layernorm_reference(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray, eps: float
+) -> np.ndarray:
+    """Layer normalisation over the last axis with affine parameters."""
+    mean = x.mean(axis=-1, keepdims=True)
+    variance = x.var(axis=-1, keepdims=True)
+    return (x - mean) / np.sqrt(variance + eps) * weight + bias
+
+
+class FloatGraphExecutor:
+    """Executes a :class:`ComputeGraph` on float32/float64 NumPy arrays."""
+
+    def __init__(self, graph: ComputeGraph) -> None:
+        self.graph = graph
+
+    # ------------------------------------------------------------------ #
+    # Single-node dispatch
+    # ------------------------------------------------------------------ #
+    def _run_node(self, node: GraphNode, tensors: Dict[str, np.ndarray]) -> np.ndarray:
+        op = node.op
+        x = tensors[node.inputs[0]]
+        if op == "conv1d":
+            return conv1d_reference(
+                x,
+                node.weights["weight"],
+                node.weights.get("bias"),
+                stride=int(node.attrs["stride"]),
+                padding=int(node.attrs["padding"]),
+                dilation=int(node.attrs["dilation"]),
+            )
+        if op == "linear":
+            out = x @ node.weights["weight"].T
+            if "bias" in node.weights:
+                out = out + node.weights["bias"]
+            return out
+        if op == "channel_affine":
+            scale = node.weights["scale"].reshape(1, -1, 1)
+            shift = node.weights["shift"].reshape(1, -1, 1)
+            return x * scale + shift
+        if op == "layernorm":
+            return layernorm_reference(
+                x, node.weights["weight"], node.weights["bias"], float(node.attrs["eps"])
+            )
+        if op == "relu":
+            return np.maximum(x, 0.0)
+        if op == "gelu":
+            return gelu_reference(x)
+        if op == "softmax":
+            return softmax_reference(x, axis=int(node.attrs.get("axis", -1)))
+        if op == "matmul":
+            other = tensors[node.inputs[1]]
+            if node.attrs.get("transpose_b", False):
+                other = np.swapaxes(other, -1, -2)
+            return (x @ other) * float(node.attrs.get("scale", 1.0))
+        if op == "add":
+            return x + tensors[node.inputs[1]]
+        if op == "append_token":
+            token = node.weights["token"].reshape(1, 1, -1)
+            token = np.broadcast_to(token, (x.shape[0], 1, x.shape[2]))
+            return np.concatenate([x, token], axis=1)
+        if op == "add_positional":
+            return x + node.weights["positions"][None, :, :]
+        if op == "avgpool1d":
+            return avgpool1d_reference(
+                x, int(node.attrs["kernel_size"]), int(node.attrs["stride"])
+            )
+        if op == "flatten":
+            return x.reshape(x.shape[0], -1)
+        if op == "split_heads":
+            heads = int(node.attrs["num_heads"])
+            head_dim = int(node.attrs["head_dim"])
+            batch, sequence, _ = x.shape
+            return x.reshape(batch, sequence, heads, head_dim).transpose(0, 2, 1, 3)
+        if op == "merge_heads":
+            batch, heads, sequence, head_dim = x.shape
+            return x.transpose(0, 2, 1, 3).reshape(batch, sequence, heads * head_dim)
+        if op == "transpose":
+            axes = tuple(node.attrs["axes"])
+            batch_axes = (0,) + tuple(axis + 1 for axis in axes)
+            return x.transpose(batch_axes)
+        if op == "select_token":
+            return x[:, int(node.attrs["index"]), :]
+        if op == "mean_tokens":
+            return x.mean(axis=1)
+        raise NotImplementedError(f"float executor does not implement '{op}'")
+
+    # ------------------------------------------------------------------ #
+    # Whole-graph execution
+    # ------------------------------------------------------------------ #
+    def run(self, inputs: np.ndarray) -> np.ndarray:
+        """Run the graph on a ``(batch, channels, samples)`` input batch."""
+        return self.run_recording(inputs)[self.graph.output.name]
+
+    def run_recording(self, inputs: np.ndarray) -> Dict[str, np.ndarray]:
+        """Run the graph and return *every* intermediate activation.
+
+        The returned mapping is keyed by tensor name and includes the graph
+        input; it is what the int8 lowering pass calibrates on.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim == len(self.graph.graph_input.shape):
+            inputs = inputs[None, ...]
+        expected = self.graph.graph_input.shape
+        if tuple(inputs.shape[1:]) != tuple(expected):
+            raise ValueError(
+                f"graph '{self.graph.name}' expects input shape {expected}, "
+                f"got {tuple(inputs.shape[1:])}"
+            )
+        tensors: Dict[str, np.ndarray] = {self.graph.graph_input.name: inputs}
+        for node in self.graph.nodes:
+            tensors[node.output.name] = self._run_node(node, tensors)
+        return tensors
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Class predictions (argmax over the graph output logits)."""
+        return np.argmax(self.run(inputs), axis=-1)

@@ -1,0 +1,250 @@
+"""Integer-only execution of int8-lowered graphs (the GAP8 numerics).
+
+This is the bit-level counterpart of what the generated C code runs on the
+GAP8 cluster: int8 activations and weights, int32 accumulators, fixed-point
+requantisation between kernels, and I-BERT integer approximations for the
+transformer non-linearities (softmax, GELU, LayerNorm).
+
+The executor is an *emulator*: it exists so the quantised accuracy reported
+in Table I, the generated weights and the requantisation constants can all
+be validated end-to-end on the host before any code ever reaches the MCU —
+which is exactly how MCU deployment flows are qualified in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..quant import ibert
+from .graph import GraphNode
+from .lowering import ActivationQuantization, QuantizedGraph, quantize_multiplier
+
+__all__ = ["IntegerGraphExecutor", "requantize"]
+
+_INT8_MIN = -128
+_INT8_MAX = 127
+
+
+def requantize(
+    values: np.ndarray,
+    factor: float,
+    qmin: int = _INT8_MIN,
+    qmax: int = _INT8_MAX,
+) -> np.ndarray:
+    """Rescale integer accumulators by ``factor`` using fixed-point arithmetic.
+
+    ``factor`` is encoded as a 31-bit multiplier plus arithmetic shift (see
+    :func:`repro.deploy.lowering.quantize_multiplier`), the result is
+    rounded, clipped to ``[qmin, qmax]`` and returned as ``int32`` — the same
+    sequence of operations the generated C kernels perform.
+
+    A negative ``factor`` (the I-BERT polynomial kernels track the sign in
+    the scale) is handled by negating the accumulators first.
+    """
+    if factor < 0:
+        values = -np.asarray(values)
+        factor = -factor
+    multiplier, shift = quantize_multiplier(factor)
+    scaled = values.astype(np.int64) * multiplier
+    if shift > 0:
+        rounding = np.int64(1) << (shift - 1)
+        scaled = (scaled + rounding) >> shift
+    elif shift < 0:
+        scaled = scaled << (-shift)
+    return np.clip(scaled, qmin, qmax).astype(np.int32)
+
+
+class IntegerGraphExecutor:
+    """Executes a :class:`QuantizedGraph` with integer-only arithmetic."""
+
+    def __init__(self, quantized: QuantizedGraph) -> None:
+        self.quantized = quantized
+        self.graph = quantized.graph
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _activation(self, tensor_name: str) -> ActivationQuantization:
+        return self.quantized.activations[tensor_name]
+
+    def _requant_to(self, values: np.ndarray, in_scale: float, tensor_name: str) -> np.ndarray:
+        out = self._activation(tensor_name)
+        return requantize(values, in_scale / out.scale, out.qmin, out.qmax)
+
+    # ------------------------------------------------------------------ #
+    # Single-node dispatch
+    # ------------------------------------------------------------------ #
+    def _run_node(self, node: GraphNode, tensors: Dict[str, np.ndarray]) -> np.ndarray:
+        lowered = self.quantized.nodes[node.name]
+        op = node.op
+        q_x = tensors[node.inputs[0]]
+        in_scale = self._activation(node.inputs[0]).scale
+        out_name = node.output.name
+        out_scale = self._activation(out_name).scale
+
+        if op == "conv1d":
+            weight = lowered.constants["weight"]
+            accumulator = _int_conv1d(
+                q_x,
+                weight.values,
+                stride=int(node.attrs["stride"]),
+                padding=int(node.attrs["padding"]),
+                dilation=int(node.attrs["dilation"]),
+            )
+            if "bias" in lowered.constants:
+                accumulator += lowered.constants["bias"].values.reshape(1, -1, 1)
+            return self._requant_to(accumulator, in_scale * weight.scale, out_name)
+
+        if op == "linear":
+            weight = lowered.constants["weight"]
+            accumulator = q_x.astype(np.int64) @ weight.values.T.astype(np.int64)
+            if "bias" in lowered.constants:
+                accumulator += lowered.constants["bias"].values
+            return self._requant_to(accumulator, in_scale * weight.scale, out_name)
+
+        if op == "channel_affine":
+            scale_const = lowered.constants["scale"]
+            shift_const = lowered.constants["shift"]
+            accumulator = q_x.astype(np.int64) * scale_const.values.reshape(1, -1, 1)
+            accumulator += shift_const.values.reshape(1, -1, 1)
+            return self._requant_to(accumulator, in_scale * scale_const.scale, out_name)
+
+        if op == "matmul":
+            q_other = tensors[node.inputs[1]]
+            other_scale = self._activation(node.inputs[1]).scale
+            if node.attrs.get("transpose_b", False):
+                q_other = np.swapaxes(q_other, -1, -2)
+            accumulator = q_x.astype(np.int64) @ q_other.astype(np.int64)
+            factor = in_scale * other_scale * float(node.attrs.get("scale", 1.0))
+            return self._requant_to(accumulator, factor, out_name)
+
+        if op == "add":
+            q_other = tensors[node.inputs[1]]
+            other_scale = self._activation(node.inputs[1]).scale
+            lhs = self._requant_to(q_x.astype(np.int64), in_scale, out_name)
+            rhs = self._requant_to(q_other.astype(np.int64), other_scale, out_name)
+            out = self._activation(out_name)
+            return np.clip(lhs + rhs, out.qmin, out.qmax).astype(np.int32)
+
+        if op == "append_token":
+            token = lowered.constants["token"].values.reshape(1, 1, -1)
+            rescaled = self._requant_to(q_x.astype(np.int64), in_scale, out_name)
+            token = np.broadcast_to(token, (rescaled.shape[0], 1, rescaled.shape[2]))
+            return np.concatenate([rescaled, token.astype(np.int32)], axis=1)
+
+        if op == "add_positional":
+            positions = lowered.constants["positions"].values[None, :, :]
+            rescaled = self._requant_to(q_x.astype(np.int64), in_scale, out_name)
+            out = self._activation(out_name)
+            return np.clip(rescaled + positions, out.qmin, out.qmax).astype(np.int32)
+
+        if op == "relu":
+            return self._requant_to(np.maximum(q_x, 0).astype(np.int64), in_scale, out_name)
+
+        if op == "gelu":
+            q_out, gelu_scale = ibert.integer_gelu(q_x.astype(np.int64), in_scale)
+            return self._requant_to(q_out, gelu_scale, out_name)
+
+        if op == "softmax":
+            q_out, softmax_scale = ibert.integer_softmax(
+                q_x.astype(np.int64), in_scale, axis=int(node.attrs.get("axis", -1))
+            )
+            return self._requant_to(q_out, softmax_scale, out_name)
+
+        if op == "layernorm":
+            weight = lowered.constants["weight"].values
+            bias = lowered.constants["bias"].values
+            q_out, ln_scale = ibert.integer_layernorm(q_x.astype(np.int64), in_scale, weight, bias)
+            return self._requant_to(q_out, ln_scale, out_name)
+
+        if op == "avgpool1d":
+            kernel = int(node.attrs["kernel_size"])
+            stride = int(node.attrs["stride"])
+            batch, channels, length = q_x.shape
+            out_length = (length - kernel) // stride + 1
+            accumulator = np.zeros((batch, channels, out_length), dtype=np.int64)
+            for tap in range(kernel):
+                accumulator += q_x[:, :, tap : tap + stride * out_length : stride]
+            return self._requant_to(accumulator, in_scale / kernel, out_name)
+
+        if op == "mean_tokens":
+            accumulator = q_x.astype(np.int64).sum(axis=1)
+            return self._requant_to(accumulator, in_scale / q_x.shape[1], out_name)
+
+        if op == "flatten":
+            return q_x.reshape(q_x.shape[0], -1)
+        if op == "split_heads":
+            heads = int(node.attrs["num_heads"])
+            head_dim = int(node.attrs["head_dim"])
+            batch, sequence, _ = q_x.shape
+            return q_x.reshape(batch, sequence, heads, head_dim).transpose(0, 2, 1, 3)
+        if op == "merge_heads":
+            batch, heads, sequence, head_dim = q_x.shape
+            return q_x.transpose(0, 2, 1, 3).reshape(batch, sequence, heads * head_dim)
+        if op == "transpose":
+            axes = tuple(node.attrs["axes"])
+            return q_x.transpose((0,) + tuple(axis + 1 for axis in axes))
+        if op == "select_token":
+            return q_x[:, int(node.attrs["index"]), :]
+        raise NotImplementedError(f"integer executor does not implement '{op}'")
+
+    # ------------------------------------------------------------------ #
+    # Whole-graph execution
+    # ------------------------------------------------------------------ #
+    def run_integer(self, inputs: np.ndarray) -> np.ndarray:
+        """Run the graph; returns the *integer* logits (int8 grid)."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim == len(self.graph.graph_input.shape):
+            inputs = inputs[None, ...]
+        input_quant = self.quantized.input_quantization
+        tensors: Dict[str, np.ndarray] = {
+            self.graph.graph_input.name: input_quant.quantize(inputs)
+        }
+        for node in self.graph.nodes:
+            tensors[node.output.name] = self._run_node(node, tensors)
+        return tensors[self.graph.output.name]
+
+    def run(self, inputs: np.ndarray) -> np.ndarray:
+        """Run the graph and return dequantised (float) logits."""
+        integer_logits = self.run_integer(inputs)
+        return self.quantized.output_quantization.dequantize(integer_logits)
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Class predictions of the integer-only inference path."""
+        return np.argmax(self.run_integer(inputs), axis=-1)
+
+    def agreement_with_float(self, inputs: np.ndarray) -> float:
+        """Fraction of inputs where int8 and float inference agree on the class."""
+        from .engine import FloatGraphExecutor
+
+        float_predictions = FloatGraphExecutor(self.graph).predict(inputs)
+        integer_predictions = self.predict(inputs)
+        return float(np.mean(float_predictions == integer_predictions))
+
+
+def _int_conv1d(
+    q_x: np.ndarray,
+    q_weight: np.ndarray,
+    stride: int,
+    padding: int,
+    dilation: int,
+) -> np.ndarray:
+    """Integer 1-D convolution with int64 accumulation."""
+    q_x = q_x.astype(np.int64)
+    q_weight = q_weight.astype(np.int64)
+    batch, in_channels, length = q_x.shape
+    out_channels, _, kernel = q_weight.shape
+    if padding > 0:
+        q_x = np.pad(q_x, ((0, 0), (0, 0), (padding, padding)))
+        length = q_x.shape[-1]
+    effective = dilation * (kernel - 1) + 1
+    out_length = (length - effective) // stride + 1
+    accumulator = np.zeros((batch, out_channels, out_length), dtype=np.int64)
+    for tap in range(kernel):
+        start = tap * dilation
+        stop = start + stride * out_length
+        window = q_x[:, :, start:stop:stride]
+        accumulator += np.einsum("bcl,oc->bol", window, q_weight[:, :, tap])
+    return accumulator

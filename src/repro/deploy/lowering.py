@@ -1,0 +1,295 @@
+"""Lowering: turn a float :class:`ComputeGraph` into an int8 deployment graph.
+
+The paper deploys int8 models on GAP8 with the integer-only transformer
+kernels of Burrello et al. (COINS 2021), which follow the usual MCU
+convention:
+
+* **weights** — per-tensor symmetric int8 (``w ≈ q_w · s_w``);
+* **activations** — per-tensor symmetric int8, with scales calibrated on a
+  batch of representative inputs;
+* **accumulation** — int32; biases are stored as int32 at the accumulator
+  scale ``s_x · s_w``;
+* **requantisation** — the float factor ``s_x · s_w / s_y`` between the
+  accumulator and the next activation is encoded as a fixed-point multiplier
+  plus arithmetic shift, so inference needs no floating point at all.
+
+:func:`lower_to_int8` performs that conversion: it runs the float executor
+on a calibration batch to observe every activation range, quantises the
+constants of each node, and emits a :class:`QuantizedGraph` that the integer
+executor (:mod:`repro.deploy.int_engine`) and the code generator
+(:mod:`repro.deploy.codegen`) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..quant.quantizers import QuantizationSpec, compute_scale_zero_point, quantize
+from .engine import FloatGraphExecutor
+from .graph import ComputeGraph, GraphNode
+
+__all__ = [
+    "ActivationQuantization",
+    "QuantizedConstant",
+    "QuantizedNode",
+    "QuantizedGraph",
+    "quantize_multiplier",
+    "lower_to_int8",
+]
+
+
+def quantize_multiplier(value: float, bits: int = 31) -> Tuple[int, int]:
+    """Encode a positive float as ``multiplier / 2**shift`` (fixed point).
+
+    This is the canonical requantisation encoding used by integer inference
+    runtimes (gemmlowp, CMSIS-NN, PULP-NN): the returned ``multiplier`` fits
+    in ``bits`` bits and ``value ≈ multiplier * 2**-shift``.
+    """
+    if value <= 0.0:
+        raise ValueError("requantisation factor must be positive")
+    shift = 0
+    scaled = value
+    limit = float(2 ** (bits - 1))
+    while scaled < limit / 2:
+        scaled *= 2.0
+        shift += 1
+    while scaled >= limit:
+        scaled /= 2.0
+        shift -= 1
+    return int(round(scaled)), shift
+
+
+@dataclass(frozen=True)
+class ActivationQuantization:
+    """Symmetric int8 quantisation parameters of one activation tensor."""
+
+    name: str
+    scale: float
+    bits: int = 8
+
+    @property
+    def qmin(self) -> int:
+        return -(2 ** (self.bits - 1))
+
+    @property
+    def qmax(self) -> int:
+        return 2 ** (self.bits - 1) - 1
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Quantise a float array to this tensor's integer grid."""
+        q = np.round(np.asarray(values, dtype=np.float64) / self.scale)
+        return np.clip(q, self.qmin, self.qmax).astype(np.int32)
+
+    def dequantize(self, values: np.ndarray) -> np.ndarray:
+        """Reconstruct float values from the integer grid."""
+        return np.asarray(values, dtype=np.float64) * self.scale
+
+
+@dataclass
+class QuantizedConstant:
+    """An int8/int32 constant plus the scale it was quantised with."""
+
+    values: np.ndarray
+    scale: float
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint of the constant on the target."""
+        per_element = {"int8": 1, "int32": 4}[self.dtype]
+        return int(self.values.size * per_element)
+
+
+@dataclass
+class QuantizedNode:
+    """A graph node plus its integer constants and requantisation factors."""
+
+    node: GraphNode
+    constants: Dict[str, QuantizedConstant] = field(default_factory=dict)
+    #: Requantisation multiplier/shift pairs keyed by role (usually "output").
+    requantizers: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def weight_bytes(self) -> int:
+        """Total constant bytes of this node."""
+        return sum(constant.nbytes for constant in self.constants.values())
+
+
+@dataclass
+class QuantizedGraph:
+    """An int8-lowered inference graph ready for execution / code generation."""
+
+    graph: ComputeGraph
+    activations: Dict[str, ActivationQuantization]
+    nodes: Dict[str, QuantizedNode]
+    weight_spec: QuantizationSpec
+
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    @property
+    def input_quantization(self) -> ActivationQuantization:
+        """Quantisation of the graph input tensor."""
+        return self.activations[self.graph.graph_input.name]
+
+    @property
+    def output_quantization(self) -> ActivationQuantization:
+        """Quantisation of the graph output tensor (the logits)."""
+        return self.activations[self.graph.output.name]
+
+    @property
+    def total_weight_bytes(self) -> int:
+        """Total constant storage of the lowered graph."""
+        return sum(node.weight_bytes for node in self.nodes.values())
+
+    @property
+    def weight_kilobytes(self) -> float:
+        """Constant storage in kB (comparable to the paper's Memory column)."""
+        return self.total_weight_bytes / 1024.0
+
+    def activation_for(self, tensor_name: str) -> ActivationQuantization:
+        """Quantisation parameters of a named activation tensor."""
+        return self.activations[tensor_name]
+
+
+def _symmetric_scale(values: np.ndarray, bits: int = 8, percentile: float = 100.0) -> float:
+    """Symmetric per-tensor scale covering the given percentile of |values|."""
+    magnitudes = np.abs(np.asarray(values, dtype=np.float64)).reshape(-1)
+    if magnitudes.size == 0:
+        return 1.0
+    if percentile >= 100.0:
+        bound = float(magnitudes.max())
+    else:
+        bound = float(np.percentile(magnitudes, percentile))
+    bound = max(bound, 1e-8)
+    return bound / float(2 ** (bits - 1) - 1)
+
+
+def _quantize_weight(values: np.ndarray, spec: QuantizationSpec) -> QuantizedConstant:
+    scale, zero_point = compute_scale_zero_point(values.min(), values.max(), spec)
+    integer = quantize(values, scale, zero_point, spec).astype(np.int32)
+    return QuantizedConstant(values=integer, scale=float(scale), dtype="int8")
+
+
+def lower_to_int8(
+    graph: ComputeGraph,
+    calibration_inputs: np.ndarray,
+    weight_bits: int = 8,
+    activation_bits: int = 8,
+    calibration_percentile: float = 99.9,
+) -> QuantizedGraph:
+    """Quantise a traced graph to int8 using a calibration batch.
+
+    Parameters
+    ----------
+    graph:
+        The float graph produced by one of the tracers.
+    calibration_inputs:
+        ``(batch, channels, samples)`` array of representative inputs used to
+        pick the activation scales.
+    weight_bits, activation_bits:
+        Integer precision (8 in the paper; other widths are supported for
+        ablation studies).
+    calibration_percentile:
+        Percentile of ``|activation|`` covered by the activation scale;
+        clipping a tiny tail of outliers (99.9 by default) is standard
+        practice and measurably improves post-training accuracy.
+
+    Returns
+    -------
+    A :class:`QuantizedGraph` bundling the original graph, the per-tensor
+    activation scales, the integer constants and the requantisation factors.
+    """
+    executor = FloatGraphExecutor(graph)
+    recorded = executor.run_recording(calibration_inputs)
+
+    activations: Dict[str, ActivationQuantization] = {}
+    for tensor_name, values in recorded.items():
+        activations[tensor_name] = ActivationQuantization(
+            name=tensor_name,
+            scale=_symmetric_scale(values, bits=activation_bits, percentile=calibration_percentile),
+            bits=activation_bits,
+        )
+    # Softmax outputs are probabilities in [0, 1]; pin their scale so the
+    # attention weighting keeps maximum resolution regardless of calibration.
+    for node in graph.nodes:
+        if node.op == "softmax":
+            activations[node.output.name] = ActivationQuantization(
+                name=node.output.name,
+                scale=1.0 / float(2 ** (activation_bits - 1) - 1),
+                bits=activation_bits,
+            )
+
+    weight_spec = QuantizationSpec(bits=weight_bits, symmetric=True, signed=True)
+    quantized_nodes: Dict[str, QuantizedNode] = {}
+    for node in graph.nodes:
+        lowered = QuantizedNode(node=node)
+        input_scale = activations[node.inputs[0]].scale
+        output_scale = activations[node.output.name].scale
+
+        if node.op in ("conv1d", "linear"):
+            weight = _quantize_weight(node.weights["weight"], weight_spec)
+            lowered.constants["weight"] = weight
+            if "bias" in node.weights:
+                bias_scale = input_scale * weight.scale
+                bias = np.round(node.weights["bias"] / bias_scale).astype(np.int64)
+                lowered.constants["bias"] = QuantizedConstant(
+                    values=bias, scale=bias_scale, dtype="int32"
+                )
+            lowered.requantizers["output"] = quantize_multiplier(
+                input_scale * weight.scale / output_scale
+            )
+        elif node.op == "matmul":
+            other_scale = activations[node.inputs[1]].scale
+            factor = input_scale * other_scale * float(node.attrs.get("scale", 1.0))
+            lowered.requantizers["output"] = quantize_multiplier(factor / output_scale)
+        elif node.op == "channel_affine":
+            scale_const = node.weights["scale"]
+            shift_const = node.weights["shift"]
+            scale_q = _quantize_weight(scale_const, weight_spec)
+            lowered.constants["scale"] = scale_q
+            shift_scale = input_scale * scale_q.scale
+            lowered.constants["shift"] = QuantizedConstant(
+                values=np.round(shift_const / shift_scale).astype(np.int64),
+                scale=shift_scale,
+                dtype="int32",
+            )
+            lowered.requantizers["output"] = quantize_multiplier(shift_scale / output_scale)
+        elif node.op in ("append_token", "add_positional"):
+            key = "token" if node.op == "append_token" else "positions"
+            constant = node.weights[key]
+            lowered.constants[key] = QuantizedConstant(
+                values=np.round(constant / output_scale).astype(np.int32),
+                scale=output_scale,
+                dtype="int8",
+            )
+            lowered.requantizers["input"] = quantize_multiplier(input_scale / output_scale)
+        elif node.op == "add":
+            other_scale = activations[node.inputs[1]].scale
+            lowered.requantizers["lhs"] = quantize_multiplier(input_scale / output_scale)
+            lowered.requantizers["rhs"] = quantize_multiplier(other_scale / output_scale)
+        elif node.op in ("layernorm", "gelu", "softmax", "relu", "avgpool1d", "mean_tokens"):
+            lowered.requantizers["output"] = quantize_multiplier(
+                max(input_scale / output_scale, 1e-30)
+            )
+            if node.op == "layernorm":
+                # LayerNorm keeps its affine parameters in float; they are a
+                # negligible 2*C values folded into the requantisation step.
+                lowered.constants["weight"] = QuantizedConstant(
+                    values=node.weights["weight"].copy(), scale=1.0, dtype="int32"
+                )
+                lowered.constants["bias"] = QuantizedConstant(
+                    values=node.weights["bias"].copy(), scale=1.0, dtype="int32"
+                )
+        quantized_nodes[node.name] = lowered
+
+    return QuantizedGraph(
+        graph=graph,
+        activations=activations,
+        nodes=quantized_nodes,
+        weight_spec=weight_spec,
+    )

@@ -1,0 +1,69 @@
+"""``repro.experiments`` — one driver per paper figure/table.
+
+==========  ====================================================  =====================
+Experiment  Paper result                                          Driver
+==========  ====================================================  =====================
+Fig. 2      accuracy per testing session, 3 models x 2 protocols  :mod:`.fig2_sessions`
+Fig. 3      per-subject pre-training gain                         :mod:`.fig3_pretraining`
+Fig. 4      accuracy vs front-end filter dimension                :mod:`.fig4_filter_dim`
+Fig. 5      accuracy vs MACs / parameters Pareto spaces           :mod:`.fig5_pareto`
+Table I     quantised deployment on GAP8                          :mod:`.table1_gap8`
+Sec. III-A  depth x heads grid search                             :mod:`.grid_search`
+==========  ====================================================  =====================
+"""
+
+from .common import ExperimentContext, Scale, build_architecture, make_context
+from .fig2_sessions import FIG2_SERIES, Figure2Result, render_figure2, run_figure2
+from .fig3_pretraining import Figure3Result, render_figure3, run_figure3
+from .fig4_filter_dim import (
+    Figure4Result,
+    render_figure4,
+    run_figure4,
+    scaled_filter_dimensions,
+)
+from .fig5_pareto import (
+    PAPER_REFERENCE_ACCURACY,
+    ComplexityPoint,
+    Figure5Result,
+    render_figure5,
+    run_figure5,
+)
+from .grid_search import GridSearchResult, render_grid_search, run_grid_search
+from .table1_gap8 import (
+    TABLE1_CONFIGURATIONS,
+    Table1Result,
+    Table1Row,
+    render_table1,
+    run_table1,
+)
+
+__all__ = [
+    "Scale",
+    "ExperimentContext",
+    "make_context",
+    "build_architecture",
+    "FIG2_SERIES",
+    "Figure2Result",
+    "run_figure2",
+    "render_figure2",
+    "Figure3Result",
+    "run_figure3",
+    "render_figure3",
+    "Figure4Result",
+    "run_figure4",
+    "render_figure4",
+    "scaled_filter_dimensions",
+    "Figure5Result",
+    "ComplexityPoint",
+    "PAPER_REFERENCE_ACCURACY",
+    "run_figure5",
+    "render_figure5",
+    "GridSearchResult",
+    "run_grid_search",
+    "render_grid_search",
+    "TABLE1_CONFIGURATIONS",
+    "Table1Row",
+    "Table1Result",
+    "run_table1",
+    "render_table1",
+]

@@ -1,0 +1,127 @@
+"""Shared infrastructure of the experiment drivers.
+
+Each figure/table of the paper has a driver module in this package; every
+driver accepts a :class:`Scale` preset that controls the dataset geometry
+and epoch budgets:
+
+* ``Scale.PAPER`` — the paper's full geometry (documented; hours of NumPy
+  compute, not run by the harness);
+* ``Scale.SMALL`` — the benchmark-harness preset (minutes);
+* ``Scale.TINY``  — the integration-test preset (seconds).
+
+A driver returns a plain dataclass of results plus a ``render()`` helper
+producing the text table printed by the benchmark harness and recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..data import NinaProDB6, NinaProDB6Config
+from ..models import bioformer_bio1, bioformer_bio2, temponet
+from ..training import ProtocolConfig
+
+__all__ = ["Scale", "ExperimentContext", "make_context", "build_architecture"]
+
+
+class Scale(enum.Enum):
+    """Experiment scale presets."""
+
+    PAPER = "paper"
+    SMALL = "small"
+    TINY = "tiny"
+
+
+@dataclass
+class ExperimentContext:
+    """Dataset + protocol bundle shared by the experiment drivers."""
+
+    scale: Scale
+    dataset: NinaProDB6
+    protocol: ProtocolConfig
+
+    @property
+    def window_samples(self) -> int:
+        """Model input window length for this scale."""
+        return self.dataset.config.window_samples
+
+    @property
+    def num_channels(self) -> int:
+        """Number of sEMG channels."""
+        return self.dataset.config.num_channels
+
+    @property
+    def num_classes(self) -> int:
+        """Number of gesture classes."""
+        return self.dataset.config.num_gestures
+
+    @property
+    def subjects(self) -> Tuple[int, ...]:
+        """Subject identifiers available at this scale."""
+        return self.dataset.config.subjects
+
+
+def make_context(
+    scale: Scale = Scale.SMALL,
+    num_subjects: Optional[int] = None,
+    seed: int = 2022,
+) -> ExperimentContext:
+    """Build the dataset and protocol configuration for ``scale``."""
+    if scale is Scale.PAPER:
+        dataset_config = NinaProDB6Config.paper()
+        protocol = ProtocolConfig.paper()
+    elif scale is Scale.SMALL:
+        dataset_config = NinaProDB6Config.small(
+            num_subjects=num_subjects if num_subjects is not None else 3, seed=seed
+        )
+        protocol = ProtocolConfig.small()
+    elif scale is Scale.TINY:
+        dataset_config = NinaProDB6Config.tiny(seed=seed)
+        protocol = ProtocolConfig.tiny()
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown scale {scale}")
+    if num_subjects is not None and scale is not Scale.SMALL:
+        dataset_config.num_subjects = num_subjects
+    return ExperimentContext(scale=scale, dataset=NinaProDB6(dataset_config), protocol=protocol)
+
+
+def build_architecture(
+    name: str,
+    context: ExperimentContext,
+    patch_size: int = 10,
+    seed: int = 0,
+):
+    """Instantiate ``"bio1"``, ``"bio2"`` or ``"temponet"`` for a context.
+
+    The patch size is clamped so that the reduced-scale windows always
+    produce at least two tokens.
+    """
+    window = context.window_samples
+    patch = min(patch_size, max(window // 2, 1))
+    if name == "bio1":
+        return bioformer_bio1(
+            patch_size=patch,
+            window_samples=window,
+            num_channels=context.num_channels,
+            num_classes=context.num_classes,
+            seed=seed,
+        )
+    if name == "bio2":
+        return bioformer_bio2(
+            patch_size=patch,
+            window_samples=window,
+            num_channels=context.num_channels,
+            num_classes=context.num_classes,
+            seed=seed,
+        )
+    if name == "temponet":
+        return temponet(
+            window_samples=window,
+            num_channels=context.num_channels,
+            num_classes=context.num_classes,
+            seed=seed,
+        )
+    raise KeyError(f"unknown architecture '{name}'")

@@ -1,0 +1,122 @@
+"""Fig. 2 — accuracy on the five testing sessions (6-10).
+
+The paper's Fig. 2 plots, for every testing session, the accuracy averaged
+over the 10 subjects of: Bioformer (h=8, d=1), Bioformer (h=2, d=2) and
+TEMPONet, each trained with the standard subject-specific protocol and with
+the new inter-subject pre-training.  The qualitative findings are:
+
+* accuracy degrades for sessions farther from the training period;
+* TEMPONet is slightly ahead of the Bioformers without pre-training;
+* pre-training helps every model, and helps the Bioformers more, shrinking
+  the gap.
+
+This driver reproduces the same series on the synthetic surrogate at the
+requested scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.splits import subject_split
+from ..training import run_two_step_protocol, train_subject_specific
+from ..utils.tables import format_table
+from .common import ExperimentContext, Scale, build_architecture, make_context
+
+__all__ = ["Figure2Result", "run_figure2", "render_figure2"]
+
+#: (architecture name, with pre-training) pairs plotted in Fig. 2.
+FIG2_SERIES: Tuple[Tuple[str, bool], ...] = (
+    ("bio1", False),
+    ("bio2", False),
+    ("temponet", False),
+    ("bio1", True),
+    ("bio2", True),
+    ("temponet", True),
+)
+
+
+@dataclass
+class Figure2Result:
+    """Per-session accuracy series for every (architecture, protocol) pair."""
+
+    scale: Scale
+    sessions: Tuple[int, ...]
+    #: ``series[(name, pretrained)][session] = mean accuracy across subjects``.
+    series: Dict[Tuple[str, bool], Dict[int, float]] = field(default_factory=dict)
+    #: Overall test accuracy per (name, pretrained) pair.
+    overall: Dict[Tuple[str, bool], float] = field(default_factory=dict)
+
+    def average_accuracy(self, name: str, pretrained: bool) -> float:
+        """Mean accuracy over sessions for one series."""
+        values = list(self.series[(name, pretrained)].values())
+        return float(np.mean(values)) if values else 0.0
+
+    def pretraining_gain(self, name: str) -> float:
+        """Accuracy gain of the two-step protocol for one architecture."""
+        return self.overall.get((name, True), 0.0) - self.overall.get((name, False), 0.0)
+
+
+def run_figure2(
+    context: Optional[ExperimentContext] = None,
+    architectures: Iterable[str] = ("bio1", "bio2", "temponet"),
+    subjects: Optional[Iterable[int]] = None,
+    patch_size: int = 10,
+) -> Figure2Result:
+    """Train every architecture with both protocols and collect Fig. 2 data.
+
+    Parameters
+    ----------
+    context:
+        Experiment context (defaults to the SMALL scale).
+    architectures:
+        Which of the three paper architectures to include.
+    subjects:
+        Subjects to average over (defaults to every subject in the context).
+    patch_size:
+        Front-end filter dimension of the Bioformers (10 in Fig. 2).
+    """
+    context = context if context is not None else make_context(Scale.SMALL)
+    subject_list = list(subjects) if subjects is not None else list(context.subjects)
+    sessions = context.dataset.config.testing_sessions
+    result = Figure2Result(scale=context.scale, sessions=sessions)
+
+    for name in architectures:
+        for pretrained in (False, True):
+            per_session_accumulator: Dict[int, List[float]] = {s: [] for s in sessions}
+            overall: List[float] = []
+            for subject in subject_list:
+                split = subject_split(context.dataset, subject, include_pretrain=pretrained)
+                model = build_architecture(name, context, patch_size=patch_size, seed=subject)
+                if pretrained:
+                    outcome = run_two_step_protocol(
+                        model, split, context.protocol, num_classes=context.num_classes
+                    )
+                else:
+                    outcome = train_subject_specific(
+                        model, split, context.protocol, num_classes=context.num_classes
+                    )
+                overall.append(outcome.test_accuracy)
+                for session, value in outcome.per_session_accuracy.items():
+                    per_session_accumulator[session].append(value)
+            result.series[(name, pretrained)] = {
+                session: float(np.mean(values)) for session, values in per_session_accumulator.items()
+            }
+            result.overall[(name, pretrained)] = float(np.mean(overall))
+    return result
+
+
+def render_figure2(result: Figure2Result) -> str:
+    """Render the Fig. 2 series as a text table (sessions as columns)."""
+    headers = ["architecture", "pre-training"] + [f"session {s}" for s in result.sessions] + ["mean"]
+    rows = []
+    for (name, pretrained), series in result.series.items():
+        rows.append(
+            [name, "yes" if pretrained else "no"]
+            + [f"{100 * series[s]:.1f}%" for s in result.sessions]
+            + [f"{100 * result.average_accuracy(name, pretrained):.1f}%"]
+        )
+    return format_table(headers, rows, title="Fig. 2 — accuracy per testing session")

@@ -1,0 +1,90 @@
+"""Duty-cycled power and battery-life model.
+
+The paper's final claim (Sec. IV-C) is the always-on scenario: a 150 ms
+window is classified every 15 ms; between inferences the 8-core cluster is
+idled through the hardware synchronisation unit and only the Fabric
+Controller (10 mW) stays on.  With a small 1000 mAh battery this yields
+~257 h of continuous operation for the fastest Bioformer versus ~54 h for
+TEMPONet.
+
+A model whose inference latency exceeds the inter-window period cannot be
+duty-cycled at all: it runs back-to-back and its average power is the full
+active power plus the FC (this is what happens to TEMPONet at the 15 ms
+slide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .gap8 import GAP8Config
+
+__all__ = ["BatteryConfig", "DutyCycleReport", "duty_cycle_power", "battery_life_hours"]
+
+
+@dataclass
+class BatteryConfig:
+    """Battery parameters for the lifetime projection."""
+
+    capacity_mah: float = 1000.0
+    voltage_v: float = 3.3
+
+    @property
+    def energy_j(self) -> float:
+        """Total stored energy in joules."""
+        return self.capacity_mah * 1e-3 * 3600.0 * self.voltage_v
+
+
+@dataclass
+class DutyCycleReport:
+    """Average-power analysis of the always-on gesture-recognition loop."""
+
+    latency_s: float
+    period_s: float
+    active_power_w: float
+    idle_power_w: float
+    average_power_w: float
+    duty_cycle: float
+    real_time: bool
+    battery_life_hours: float
+
+
+def duty_cycle_power(
+    latency_s: float,
+    period_s: float,
+    gap8: GAP8Config,
+) -> tuple:
+    """Average power of classifying one window every ``period_s`` seconds.
+
+    Returns ``(average_power_w, duty_cycle, real_time)``.
+    """
+    if latency_s <= 0 or period_s <= 0:
+        raise ValueError("latency and period must be positive")
+    if latency_s >= period_s:
+        # No idle time: the cluster never sleeps (and the system misses its
+        # real-time deadline).
+        return gap8.active_power_w + gap8.idle_power_w, 1.0, False
+    duty = latency_s / period_s
+    average = duty * gap8.active_power_w + (1.0 - duty) * gap8.idle_power_w
+    return average, duty, True
+
+
+def battery_life_hours(
+    latency_s: float,
+    period_s: float,
+    gap8: GAP8Config,
+    battery: BatteryConfig = BatteryConfig(),
+) -> DutyCycleReport:
+    """Battery-life projection of the always-on recognition loop."""
+    average_power, duty, real_time = duty_cycle_power(latency_s, period_s, gap8)
+    hours = battery.energy_j / average_power / 3600.0
+    return DutyCycleReport(
+        latency_s=latency_s,
+        period_s=period_s,
+        active_power_w=gap8.active_power_w,
+        idle_power_w=gap8.idle_power_w,
+        average_power_w=average_power,
+        duty_cycle=duty,
+        real_time=real_time,
+        battery_life_hours=hours,
+    )

@@ -1,0 +1,112 @@
+"""End-to-end deployment pipeline: profile -> quantise -> estimate -> report.
+
+This is the flow a user follows before committing a model to the GAP8
+target, and the code path that regenerates the paper's Table I: given a
+trained model (optionally with a quantised-accuracy figure), produce its
+memory footprint, MMAC count, latency, energy and battery-life projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..models.bioformer import Bioformer, BioformerConfig
+from ..models.temponet import TEMPONet, TEMPONetConfig
+from .battery import BatteryConfig, DutyCycleReport, battery_life_hours
+from .gap8 import GAP8Config, GAP8Model, LatencyBreakdown
+from .profiler import ModelProfile, profile_model
+
+__all__ = ["DeploymentRecord", "deploy"]
+
+ModelLike = Union[Bioformer, TEMPONet, BioformerConfig, TEMPONetConfig]
+
+
+@dataclass
+class DeploymentRecord:
+    """Everything one row of the paper's Table I needs."""
+
+    model_name: str
+    profile: ModelProfile
+    latency: LatencyBreakdown
+    memory_kilobytes: float
+    quantized_accuracy: Optional[float] = None
+    duty_cycle: Optional[DutyCycleReport] = None
+
+    @property
+    def mmacs(self) -> float:
+        """Million MACs per inference."""
+        return self.profile.mmacs
+
+    @property
+    def latency_ms(self) -> float:
+        """Latency in milliseconds."""
+        return self.latency.latency_ms
+
+    @property
+    def energy_mj(self) -> float:
+        """Energy per inference in millijoules."""
+        return self.latency.energy_mj
+
+    def as_row(self) -> tuple:
+        """The record formatted as a Table I row."""
+        accuracy = (
+            f"{100 * self.quantized_accuracy:.2f}%" if self.quantized_accuracy is not None else "-"
+        )
+        return (
+            self.model_name,
+            f"{self.memory_kilobytes:.1f} kB",
+            f"{self.mmacs:.1f}",
+            f"{self.latency_ms:.2f}",
+            f"{self.energy_mj:.3f}",
+            accuracy,
+        )
+
+
+def deploy(
+    model: ModelLike,
+    gap8: Optional[GAP8Config] = None,
+    quantized_accuracy: Optional[float] = None,
+    inference_period_s: Optional[float] = 15e-3,
+    battery: Optional[BatteryConfig] = None,
+    bits_per_weight: int = 8,
+) -> DeploymentRecord:
+    """Run the full deployment estimation for ``model``.
+
+    Parameters
+    ----------
+    model:
+        A model instance or configuration (Bioformer or TEMPONet).
+    gap8:
+        Target description; defaults to the paper's GAP8 @ 100 MHz / 1 V.
+    quantized_accuracy:
+        Optional int8 accuracy to attach to the record (Table I's last
+        column); the deployment estimate itself does not need it.
+    inference_period_s:
+        Period of the always-on loop (the paper classifies a window every
+        15 ms); pass ``None`` to skip the battery-life projection.
+    battery:
+        Battery description for the lifetime projection.
+    bits_per_weight:
+        Weight storage precision (8 for the int8 deployment).
+    """
+    gap8 = gap8 if gap8 is not None else GAP8Config()
+    target = GAP8Model(gap8)
+    profile = profile_model(model)
+    latency = target.latency(profile)
+    duty_report = None
+    if inference_period_s is not None:
+        duty_report = battery_life_hours(
+            latency.latency_s,
+            inference_period_s,
+            gap8,
+            battery if battery is not None else BatteryConfig(),
+        )
+    return DeploymentRecord(
+        model_name=profile.name,
+        profile=profile,
+        latency=latency,
+        memory_kilobytes=profile.memory_kilobytes(bits_per_weight),
+        quantized_accuracy=quantized_accuracy,
+        duty_cycle=duty_report,
+    )

@@ -1,0 +1,32 @@
+"""``repro.models`` — the Bioformer architectures and the TEMPONet baseline."""
+
+from .bioformer import Bioformer, BioformerConfig, bioformer_bio1, bioformer_bio2
+from .registry import (
+    MODEL_BUILDERS,
+    PAPER_FILTER_DIMENSIONS,
+    PAPER_GRID_DEPTHS,
+    PAPER_GRID_HEADS,
+    available_models,
+    bioformer_filter_sweep,
+    bioformer_grid,
+    build_model,
+)
+from .temponet import TEMPONet, TEMPONetConfig, temponet
+
+__all__ = [
+    "Bioformer",
+    "BioformerConfig",
+    "bioformer_bio1",
+    "bioformer_bio2",
+    "TEMPONet",
+    "TEMPONetConfig",
+    "temponet",
+    "build_model",
+    "available_models",
+    "bioformer_grid",
+    "bioformer_filter_sweep",
+    "MODEL_BUILDERS",
+    "PAPER_FILTER_DIMENSIONS",
+    "PAPER_GRID_DEPTHS",
+    "PAPER_GRID_HEADS",
+]

@@ -1,0 +1,100 @@
+"""Model registry and sweep helpers.
+
+The experiment drivers refer to architectures by name ("bio1", "bio2",
+"temponet") and sweep hyper-parameters (front-end filter dimension, depth,
+heads).  This module centralises construction so every figure/table builds
+its models the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from ..nn.module import Module
+from .bioformer import Bioformer, BioformerConfig, bioformer_bio1, bioformer_bio2
+from .temponet import TEMPONet, TEMPONetConfig, temponet
+
+__all__ = [
+    "MODEL_BUILDERS",
+    "build_model",
+    "available_models",
+    "bioformer_grid",
+    "bioformer_filter_sweep",
+    "PAPER_FILTER_DIMENSIONS",
+    "PAPER_GRID_DEPTHS",
+    "PAPER_GRID_HEADS",
+]
+
+#: Front-end filter dimensions swept in the paper (Sec. III-A / Fig. 4).
+PAPER_FILTER_DIMENSIONS: Tuple[int, ...] = (1, 5, 10, 20, 30)
+#: Depth / heads grid searched in Sec. III-A.
+PAPER_GRID_DEPTHS: Tuple[int, ...] = (1, 2, 3, 4)
+PAPER_GRID_HEADS: Tuple[int, ...] = (1, 2, 4, 8)
+
+MODEL_BUILDERS: Dict[str, Callable[..., Module]] = {
+    "bio1": bioformer_bio1,
+    "bio2": bioformer_bio2,
+    "temponet": temponet,
+}
+
+
+def available_models() -> List[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(MODEL_BUILDERS)
+
+
+def build_model(name: str, **kwargs) -> Module:
+    """Build a model by registry name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_models` (case-insensitive).
+    kwargs:
+        Forwarded to the underlying builder (e.g. ``patch_size``,
+        ``num_channels``, ``window_samples``, ``num_classes``, ``seed``).
+    """
+    key = name.lower()
+    if key not in MODEL_BUILDERS:
+        raise KeyError(f"unknown model '{name}'; available: {available_models()}")
+    if key == "temponet":
+        kwargs.pop("patch_size", None)
+    return MODEL_BUILDERS[key](**kwargs)
+
+
+def bioformer_grid(
+    depths: Iterable[int] = PAPER_GRID_DEPTHS,
+    heads: Iterable[int] = PAPER_GRID_HEADS,
+    patch_size: int = 10,
+    **kwargs,
+) -> List[BioformerConfig]:
+    """Return the configs of the paper's depth x heads architecture grid."""
+    configs = []
+    for depth in depths:
+        for num_heads in heads:
+            configs.append(
+                BioformerConfig(
+                    depth=depth, num_heads=num_heads, patch_size=patch_size, **kwargs
+                )
+            )
+    return configs
+
+
+def bioformer_filter_sweep(
+    variant: str,
+    filter_dimensions: Iterable[int] = PAPER_FILTER_DIMENSIONS,
+    **kwargs,
+) -> List[Bioformer]:
+    """Build one Bioformer per front-end filter dimension (Fig. 4 / Fig. 5).
+
+    ``variant`` is ``"bio1"`` or ``"bio2"``; window lengths that are not a
+    multiple of the filter dimension are allowed (the trailing samples are
+    simply not covered by any patch, as with a strided convolution).
+    """
+    if variant not in ("bio1", "bio2"):
+        raise ValueError("variant must be 'bio1' or 'bio2'")
+    builder = MODEL_BUILDERS[variant]
+    models = []
+    for filter_dimension in filter_dimensions:
+        models.append(builder(patch_size=filter_dimension, **kwargs))
+    return models

@@ -1,0 +1,152 @@
+"""Numerical gradient checking for the autograd engine and user models.
+
+The whole reproduction rests on the correctness of the from-scratch autograd
+engine, so gradient checking is promoted to a public utility rather than
+living only inside the test-suite: users extending :mod:`repro.nn` with new
+operators can verify them with one call, exactly as ``torch.autograd.gradcheck``
+is used upstream.
+
+Central finite differences are compared against the analytical gradients
+produced by :meth:`Tensor.backward`; the comparison uses the standard
+relative-error criterion ``|a - n| <= atol + rtol * |n|`` element-wise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradient", "check_module_gradients", "GradientCheckError"]
+
+
+class GradientCheckError(AssertionError):
+    """Raised when analytical and numerical gradients disagree."""
+
+
+def numerical_gradient(
+    function: Callable[[Tensor], Tensor],
+    value: np.ndarray,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central finite-difference gradient of a scalar-valued ``function``.
+
+    ``function`` receives a :class:`Tensor` and must return a scalar
+    :class:`Tensor` (e.g. a loss).
+    """
+    value = np.asarray(value, dtype=np.float64)
+    gradient = np.zeros_like(value)
+    flat = value.reshape(-1)
+    flat_gradient = gradient.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        positive = float(function(Tensor(value.copy())).data)
+        flat[index] = original - epsilon
+        negative = float(function(Tensor(value.copy())).data)
+        flat[index] = original
+        flat_gradient[index] = (positive - negative) / (2.0 * epsilon)
+    return gradient
+
+
+def check_gradient(
+    function: Callable[[Tensor], Tensor],
+    value: np.ndarray,
+    epsilon: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+    raise_on_failure: bool = True,
+) -> float:
+    """Compare autograd and finite-difference gradients of ``function``.
+
+    Returns the maximum absolute difference; raises
+    :class:`GradientCheckError` when the tolerance is exceeded (unless
+    ``raise_on_failure`` is ``False``).
+    """
+    tensor = Tensor(np.asarray(value, dtype=np.float64), requires_grad=True)
+    output = function(tensor)
+    if output.size != 1:
+        raise ValueError("check_gradient expects a scalar-valued function")
+    output.backward()
+    analytical = tensor.grad
+    if analytical is None:
+        raise GradientCheckError("the function does not propagate gradients to its input")
+    numerical = numerical_gradient(function, value, epsilon)
+    difference = np.abs(analytical - numerical)
+    tolerance = atol + rtol * np.abs(numerical)
+    if raise_on_failure and np.any(difference > tolerance):
+        worst = float(difference.max())
+        raise GradientCheckError(
+            f"gradient mismatch: max |analytical - numerical| = {worst:.3e} "
+            f"(rtol={rtol}, atol={atol})"
+        )
+    return float(difference.max())
+
+
+def check_module_gradients(
+    module: Module,
+    inputs: np.ndarray,
+    loss_function: Optional[Callable[[Tensor], Tensor]] = None,
+    epsilon: float = 1e-6,
+    rtol: float = 1e-3,
+    atol: float = 1e-5,
+    parameters: Optional[Sequence[str]] = None,
+    max_elements_per_parameter: int = 16,
+) -> Dict[str, float]:
+    """Finite-difference check of a module's parameter gradients.
+
+    The module is run on ``inputs``; the (default sum-of-squares) loss is
+    back-propagated and, for every selected parameter, a random subset of at
+    most ``max_elements_per_parameter`` entries is perturbed numerically.
+
+    Returns the maximum discrepancy per checked parameter and raises
+    :class:`GradientCheckError` on the first failure.
+    """
+    module.eval()
+    inputs = np.asarray(inputs, dtype=np.float64)
+    if loss_function is None:
+        loss_function = lambda output: (output * output).sum()  # noqa: E731
+
+    named = dict(module.named_parameters())
+    selected = parameters if parameters is not None else list(named)
+    unknown = [name for name in selected if name not in named]
+    if unknown:
+        raise KeyError(f"unknown parameters {unknown}")
+
+    def compute_loss() -> Tensor:
+        return loss_function(module(Tensor(inputs)))
+
+    module.zero_grad()
+    loss = compute_loss()
+    loss.backward()
+    analytical = {name: named[name].grad.copy() for name in selected}
+
+    rng = np.random.default_rng(0)
+    results: Dict[str, float] = {}
+    for name in selected:
+        parameter = named[name]
+        flat = parameter.data.reshape(-1)
+        count = min(max_elements_per_parameter, flat.size)
+        indices = rng.choice(flat.size, size=count, replace=False)
+        worst = 0.0
+        for index in indices:
+            original = flat[index]
+            flat[index] = original + epsilon
+            positive = float(compute_loss().data)
+            flat[index] = original - epsilon
+            negative = float(compute_loss().data)
+            flat[index] = original
+            numerical = (positive - negative) / (2.0 * epsilon)
+            analytical_value = analytical[name].reshape(-1)[index]
+            difference = abs(analytical_value - numerical)
+            worst = max(worst, difference)
+            if difference > atol + rtol * abs(numerical):
+                raise GradientCheckError(
+                    f"parameter '{name}'[{index}]: analytical {analytical_value:.6e} vs "
+                    f"numerical {numerical:.6e}"
+                )
+        results[name] = worst
+    return results

@@ -1,0 +1,154 @@
+"""First-order optimisers.
+
+The paper trains with Adam (linear warm-up during pre-training, fixed then
+decayed learning rate during fine-tuning); SGD with momentum and AdamW are
+included for the ablation benchmarks and as commonly expected baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Clip gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm before clipping, which the trainer logs to detect
+    exploding gradients.
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    if not parameters:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in parameters)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for parameter in parameters:
+            parameter.grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base class holding the parameter list and the current learning rate."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear the gradient of every managed parameter."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update; implemented by sub-classes."""
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """Return optimiser hyper-state (learning rate and step count)."""
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore optimiser hyper-state."""
+        self.lr = float(state["lr"])
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def step(self) -> None:
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay > 0.0:
+                gradient = gradient + self.weight_decay * parameter.data
+            if self.momentum > 0.0:
+                if self._velocity[index] is None:
+                    self._velocity[index] = np.zeros_like(parameter.data)
+                self._velocity[index] = self.momentum * self._velocity[index] + gradient
+                gradient = self._velocity[index]
+            parameter.data -= self.lr * gradient
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba), the paper's training optimiser."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias_correction1 = 1.0 - self.beta1**self._step_count
+        bias_correction2 = 1.0 - self.beta2**self._step_count
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay > 0.0:
+                gradient = gradient + self.weight_decay * parameter.data
+            self._first_moment[index] = (
+                self.beta1 * self._first_moment[index] + (1.0 - self.beta1) * gradient
+            )
+            self._second_moment[index] = (
+                self.beta2 * self._second_moment[index] + (1.0 - self.beta2) * gradient**2
+            )
+            corrected_first = self._first_moment[index] / bias_correction1
+            corrected_second = self._second_moment[index] / bias_correction2
+            parameter.data -= self.lr * corrected_first / (np.sqrt(corrected_second) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {"lr": self.lr, "step_count": self._step_count}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self._step_count = int(state.get("step_count", 0))
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def step(self) -> None:
+        if self.weight_decay > 0.0:
+            for parameter in self.parameters:
+                if parameter.grad is not None:
+                    parameter.data -= self.lr * self.weight_decay * parameter.data
+        decay, self.weight_decay = self.weight_decay, 0.0
+        try:
+            super().step()
+        finally:
+            self.weight_decay = decay

@@ -1,0 +1,123 @@
+"""Learning-rate schedulers.
+
+The paper's training protocol uses two schedules:
+
+* **pre-training** — Adam with a *linear warm-up* of the learning rate from
+  1e-7 to 5e-4 (:class:`LinearWarmup`);
+* **fine-tuning** — fixed 1e-4 with a 10x reduction after 10 epochs
+  (:class:`StepDecay`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .optim import Optimizer
+
+__all__ = ["Scheduler", "LinearWarmup", "StepDecay", "CosineDecay", "ConstantSchedule"]
+
+
+class Scheduler:
+    """Base class: owns an optimiser and rewrites its ``lr`` every step."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.step_count = 0
+        self.history: List[float] = []
+
+    def learning_rate(self, step: int) -> float:
+        """Return the learning rate for a given step index (0-based)."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance the schedule by one step and update the optimiser."""
+        lr = self.learning_rate(self.step_count)
+        self.optimizer.lr = lr
+        self.history.append(lr)
+        self.step_count += 1
+        return lr
+
+
+class ConstantSchedule(Scheduler):
+    """Keep the learning rate fixed (used as a control in ablations)."""
+
+    def __init__(self, optimizer: Optimizer, lr: float) -> None:
+        super().__init__(optimizer)
+        self.lr = lr
+
+    def learning_rate(self, step: int) -> float:
+        return self.lr
+
+
+class LinearWarmup(Scheduler):
+    """Linearly increase the learning rate from ``start_lr`` to ``peak_lr``.
+
+    After ``warmup_steps`` the learning rate stays at ``peak_lr`` (the paper
+    does not describe a decay phase for pre-training).
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        start_lr: float = 1e-7,
+        peak_lr: float = 5e-4,
+        warmup_steps: int = 100,
+    ) -> None:
+        super().__init__(optimizer)
+        if warmup_steps <= 0:
+            raise ValueError("warmup_steps must be positive")
+        self.start_lr = start_lr
+        self.peak_lr = peak_lr
+        self.warmup_steps = warmup_steps
+
+    def learning_rate(self, step: int) -> float:
+        if step >= self.warmup_steps:
+            return self.peak_lr
+        fraction = step / self.warmup_steps
+        return self.start_lr + fraction * (self.peak_lr - self.start_lr)
+
+
+class StepDecay(Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        base_lr: float = 1e-4,
+        step_size: int = 10,
+        gamma: float = 0.1,
+    ) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.base_lr = base_lr
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def learning_rate(self, step: int) -> float:
+        return self.base_lr * (self.gamma ** (step // self.step_size))
+
+
+class CosineDecay(Scheduler):
+    """Cosine annealing from ``base_lr`` to ``min_lr`` over ``total_steps``."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        base_lr: float,
+        total_steps: int,
+        min_lr: float = 0.0,
+    ) -> None:
+        super().__init__(optimizer)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.base_lr = base_lr
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def learning_rate(self, step: int) -> float:
+        import math
+
+        progress = min(step / self.total_steps, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine

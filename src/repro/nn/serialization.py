@@ -1,0 +1,42 @@
+"""Model checkpoint serialisation.
+
+Checkpoints are plain ``.npz`` archives containing the flat ``state_dict``
+of a module, so they can be inspected with nothing but NumPy.  The
+pre-training / fine-tuning protocol uses these helpers to hand the
+pre-trained weights over to each subject-specific fine-tuning run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "save_state_dict", "load_state_dict"]
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
+    """Write a flat ``name -> array`` mapping to ``path`` as ``.npz``."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Read a state dictionary previously written by :func:`save_state_dict`."""
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def save_checkpoint(module: Module, path: str) -> None:
+    """Serialise ``module.state_dict()`` to ``path``."""
+    save_state_dict(module.state_dict(), path)
+
+
+def load_checkpoint(module: Module, path: str, strict: bool = True) -> Module:
+    """Load a checkpoint into ``module`` in place and return it."""
+    module.load_state_dict(load_state_dict(path), strict=strict)
+    return module

@@ -1,0 +1,113 @@
+"""Model summaries: per-module parameter accounting.
+
+A ``torchsummary``-style report for the :class:`~repro.nn.module.Module`
+tree: how many parameters each sub-module owns, which of them dominate the
+memory footprint, and what the int8/fp32 storage cost of the whole model is.
+Used by the examples and by the deployment reports to show where the
+94.2 kB of the paper's Bio1 actually live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..utils.tables import format_table
+from .module import Module
+
+__all__ = ["ModuleRow", "ModelSummary", "summarize"]
+
+
+@dataclass
+class ModuleRow:
+    """Parameter accounting for one module of the tree."""
+
+    name: str
+    module_type: str
+    depth: int
+    own_params: int
+    total_params: int
+
+    @property
+    def indented_name(self) -> str:
+        """Name indented by tree depth (for the rendered table)."""
+        return "  " * self.depth + (self.name or "(root)")
+
+
+@dataclass
+class ModelSummary:
+    """Summary of a whole module tree."""
+
+    model_type: str
+    rows: List[ModuleRow] = field(default_factory=list)
+
+    @property
+    def total_params(self) -> int:
+        """Total trainable parameters of the model."""
+        return self.rows[0].total_params if self.rows else 0
+
+    def bytes(self, bits_per_parameter: int = 32) -> int:
+        """Parameter storage at the given precision."""
+        return int(self.total_params * bits_per_parameter / 8)
+
+    @property
+    def fp32_kilobytes(self) -> float:
+        """Parameter storage in kB at fp32."""
+        return self.bytes(32) / 1024.0
+
+    @property
+    def int8_kilobytes(self) -> float:
+        """Parameter storage in kB at int8 (the paper's Memory column)."""
+        return self.bytes(8) / 1024.0
+
+    def largest_modules(self, top: int = 5, leaf_only: bool = True) -> List[ModuleRow]:
+        """The ``top`` modules owning the most parameters."""
+        candidates = [
+            row
+            for row in self.rows[1:]
+            if not leaf_only or row.own_params == row.total_params
+        ]
+        return sorted(candidates, key=lambda row: row.total_params, reverse=True)[:top]
+
+    def render(self, max_depth: Optional[int] = None) -> str:
+        """Plain-text summary table."""
+        rows = [
+            (row.indented_name, row.module_type, f"{row.total_params:,}")
+            for row in self.rows
+            if max_depth is None or row.depth <= max_depth
+        ]
+        table = format_table(("module", "type", "params"), rows, title=f"{self.model_type} summary")
+        footer = (
+            f"\ntotal parameters: {self.total_params:,}  "
+            f"(fp32 {self.fp32_kilobytes:.1f} kB, int8 {self.int8_kilobytes:.1f} kB)"
+        )
+        return table + footer
+
+
+def _walk(module: Module, name: str, depth: int, rows: List[ModuleRow]) -> int:
+    own = int(sum(parameter.size for parameter in module._parameters.values()))
+    row = ModuleRow(
+        name=name,
+        module_type=type(module).__name__,
+        depth=depth,
+        own_params=own,
+        total_params=own,
+    )
+    rows.append(row)
+    total = own
+    for child_name, child in module._modules.items():
+        qualified = f"{name}.{child_name}" if name else child_name
+        total += _walk(child, qualified, depth + 1, rows)
+    row.total_params = total
+    return total
+
+
+def summarize(model: Module) -> ModelSummary:
+    """Build a :class:`ModelSummary` for ``model``.
+
+    The first row is the root module; every descendant follows in
+    depth-first order with its subtree parameter total.
+    """
+    summary = ModelSummary(model_type=type(model).__name__)
+    _walk(model, "", 0, summary.rows)
+    return summary

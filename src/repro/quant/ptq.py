@@ -1,0 +1,188 @@
+"""Post-training quantisation (PTQ) and quantised-model export.
+
+The deployment flow of the paper is: train in fp32, run a few epochs of
+quantisation-aware fine-tuning, then export an int8 model for the GAP8
+kernels.  This module provides the export/evaluation half of that flow:
+
+* :func:`quantize_parameters` — convert every parameter of a module to
+  int8 (symmetric, per-tensor) and report the resulting memory footprint;
+* :class:`QuantizedModel` — a frozen bundle of integer parameters plus
+  activation scales, able to run *emulated-int8* inference by loading the
+  dequantised weights into a float model and fake-quantising activations at
+  the module boundaries;
+* :func:`evaluate_quantized` — quantised accuracy on a dataset (the
+  "Q. Acc." column of Table I).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..nn.module import Module
+from ..training.metrics import ClassificationReport
+from ..training.trainer import evaluate
+from .quantizers import (
+    MinMaxObserver,
+    QuantizationSpec,
+    QuantizedTensor,
+    compute_scale_zero_point,
+    fake_quantize,
+    quantize,
+)
+
+__all__ = ["QuantizationReport", "QuantizedModel", "quantize_parameters", "evaluate_quantized"]
+
+
+@dataclass
+class QuantizationReport:
+    """Summary of a post-training quantisation pass."""
+
+    parameter_count: int
+    float_bytes: int
+    quantized_bytes: int
+    per_parameter_error: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Float-to-int size ratio (4.0 for fp32 -> int8)."""
+        return self.float_bytes / max(self.quantized_bytes, 1)
+
+    @property
+    def quantized_kilobytes(self) -> float:
+        """Quantised parameter memory in kB (the paper's "Memory" column)."""
+        return self.quantized_bytes / 1024.0
+
+
+def quantize_parameters(
+    model: Module,
+    spec: Optional[QuantizationSpec] = None,
+) -> Dict[str, QuantizedTensor]:
+    """Quantise every parameter of ``model`` (symmetric per-tensor int8 by default)."""
+    spec = spec if spec is not None else QuantizationSpec(bits=8, symmetric=True)
+    quantized: Dict[str, QuantizedTensor] = {}
+    for name, parameter in model.named_parameters():
+        values = parameter.data
+        scale, zero_point = compute_scale_zero_point(values.min(), values.max(), spec)
+        quantized[name] = QuantizedTensor(
+            values=quantize(values, scale, zero_point, spec),
+            scale=np.asarray(scale),
+            zero_point=np.asarray(zero_point),
+            spec=spec,
+        )
+    return quantized
+
+
+class QuantizedModel:
+    """Frozen int8 snapshot of a trained model.
+
+    The snapshot holds the integer parameters and (optionally) an activation
+    scale for the model input.  Inference is *emulated*: the dequantised
+    weights are loaded back into a float copy of the architecture, and the
+    input is fake-quantised — this reproduces the accuracy impact of int8
+    deployment without re-implementing every kernel in integer arithmetic
+    (the I-BERT kernels in :mod:`repro.quant.ibert` cover the non-linear
+    operators, and are validated separately).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        weight_spec: Optional[QuantizationSpec] = None,
+        activation_spec: Optional[QuantizationSpec] = None,
+    ) -> None:
+        self.weight_spec = weight_spec if weight_spec is not None else QuantizationSpec()
+        self.activation_spec = (
+            activation_spec
+            if activation_spec is not None
+            else QuantizationSpec(bits=8, symmetric=False)
+        )
+        self._model = model
+        self.parameters = quantize_parameters(model, self.weight_spec)
+        self._input_observer = MinMaxObserver(self.activation_spec)
+        self._float_state = model.state_dict()
+
+    # ------------------------------------------------------------------ #
+    # Calibration
+    # ------------------------------------------------------------------ #
+    def calibrate(self, dataset: ArrayDataset, max_batches: int = 8, batch_size: int = 128) -> None:
+        """Observe input activation ranges on (a subset of) ``dataset``."""
+        for index in range(0, min(len(dataset), max_batches * batch_size), batch_size):
+            self._input_observer.observe(dataset.windows[index : index + batch_size])
+
+    # ------------------------------------------------------------------ #
+    # Emulated-int8 inference
+    # ------------------------------------------------------------------ #
+    def _load_quantized_weights(self) -> None:
+        state = {}
+        for name, quantized in self.parameters.items():
+            state[name] = quantized.dequantize()
+        self._model.load_state_dict({**self._float_state, **state}, strict=False)
+
+    def _restore_float_weights(self) -> None:
+        self._model.load_state_dict(self._float_state)
+
+    def _prepare_inputs(self, windows: np.ndarray) -> np.ndarray:
+        if not self._input_observer.initialized:
+            return windows
+        scale, zero_point = self._input_observer.quantization_parameters()
+        return fake_quantize(windows, scale, zero_point, self.activation_spec)
+
+    def evaluate(self, dataset: ArrayDataset, num_classes: Optional[int] = None) -> ClassificationReport:
+        """Quantised-accuracy evaluation of the snapshot on ``dataset``."""
+        quantized_inputs = self._prepare_inputs(dataset.windows)
+        quantized_dataset = ArrayDataset(quantized_inputs, dataset.labels, dataset.metadata)
+        self._load_quantized_weights()
+        try:
+            report = evaluate(self._model, quantized_dataset, num_classes=num_classes)
+        finally:
+            self._restore_float_weights()
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def report(self) -> QuantizationReport:
+        """Memory footprint and per-parameter quantisation error."""
+        float_bytes = 0
+        quantized_bytes = 0
+        errors: Dict[str, float] = {}
+        for name, quantized in self.parameters.items():
+            original = dict(self._model.named_parameters())[name].data
+            reconstruction = quantized.dequantize()
+            errors[name] = float(np.sqrt(np.mean((original - reconstruction) ** 2)))
+            float_bytes += original.size * 4  # fp32 storage
+            quantized_bytes += quantized.nbytes
+        return QuantizationReport(
+            parameter_count=sum(q.values.size for q in self.parameters.values()),
+            float_bytes=float_bytes,
+            quantized_bytes=quantized_bytes,
+            per_parameter_error=errors,
+        )
+
+    @property
+    def memory_kilobytes(self) -> float:
+        """Int8 parameter memory in kB."""
+        return self.report().quantized_kilobytes
+
+
+def evaluate_quantized(
+    model: Module,
+    dataset: ArrayDataset,
+    calibration: Optional[ArrayDataset] = None,
+    num_classes: Optional[int] = None,
+    weight_bits: int = 8,
+    activation_bits: int = 8,
+) -> ClassificationReport:
+    """One-call PTQ evaluation: quantise ``model`` and score it on ``dataset``."""
+    snapshot = QuantizedModel(
+        model,
+        weight_spec=QuantizationSpec(bits=weight_bits, symmetric=True),
+        activation_spec=QuantizationSpec(bits=activation_bits, symmetric=False),
+    )
+    snapshot.calibrate(calibration if calibration is not None else dataset)
+    return snapshot.evaluate(dataset, num_classes=num_classes)

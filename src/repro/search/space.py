@@ -1,0 +1,195 @@
+"""The Bioformer architecture search space.
+
+The paper finds its two reference architectures (Bio1: 8 heads / depth 1,
+Bio2: 2 heads / depth 2) with a grid search over depth x heads and a sweep
+of the front-end filter dimension (Sec. III-A and Fig. 4).  This module
+formalises that design space so the search strategies in
+:mod:`repro.search.strategies` can sample, perturb and enumerate it:
+
+* :class:`SearchSpace` — the axes (depth, heads, patch size, embedding and
+  FFN width) with the paper's values as defaults;
+* :meth:`SearchSpace.sample` / :meth:`SearchSpace.mutate` /
+  :meth:`SearchSpace.enumerate` — the three access patterns used by random,
+  evolutionary and grid search respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from itertools import product
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models.bioformer import BioformerConfig
+
+__all__ = ["SearchSpace", "candidate_name"]
+
+
+def candidate_name(config: BioformerConfig) -> str:
+    """Stable short identifier of one candidate architecture."""
+    return (
+        f"h{config.num_heads}-d{config.depth}-f{config.patch_size}"
+        f"-e{config.embed_dim}-m{config.hidden_dim}"
+    )
+
+
+@dataclass
+class SearchSpace:
+    """Discrete Bioformer design space (the paper's axes, extensible).
+
+    Every axis lists the admissible values; the fixed input geometry
+    (channels, window length, classes) is shared by all candidates.
+    """
+
+    depths: Tuple[int, ...] = (1, 2, 3, 4)
+    heads: Tuple[int, ...] = (1, 2, 4, 8)
+    patch_sizes: Tuple[int, ...] = (1, 5, 10, 20, 30)
+    embed_dims: Tuple[int, ...] = (64,)
+    hidden_dims: Tuple[int, ...] = (128,)
+    num_channels: int = 14
+    window_samples: int = 300
+    num_classes: int = 8
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for empty axes or impossible patch sizes."""
+        for name, axis in (
+            ("depths", self.depths),
+            ("heads", self.heads),
+            ("patch_sizes", self.patch_sizes),
+            ("embed_dims", self.embed_dims),
+            ("hidden_dims", self.hidden_dims),
+        ):
+            if not axis:
+                raise ValueError(f"search axis '{name}' is empty")
+        if any(patch > self.window_samples for patch in self.patch_sizes):
+            raise ValueError("a patch size exceeds the window length")
+
+    # ------------------------------------------------------------------ #
+    # Candidate construction
+    # ------------------------------------------------------------------ #
+    def make_config(
+        self,
+        depth: int,
+        num_heads: int,
+        patch_size: int,
+        embed_dim: Optional[int] = None,
+        hidden_dim: Optional[int] = None,
+    ) -> BioformerConfig:
+        """Build the :class:`BioformerConfig` for one point of the space."""
+        config = BioformerConfig(
+            num_channels=self.num_channels,
+            window_samples=self.window_samples,
+            num_classes=self.num_classes,
+            patch_size=patch_size,
+            depth=depth,
+            num_heads=num_heads,
+            embed_dim=embed_dim if embed_dim is not None else self.embed_dims[0],
+            hidden_dim=hidden_dim if hidden_dim is not None else self.hidden_dims[0],
+            seed=self.seed,
+        )
+        config.validate()
+        return config
+
+    @property
+    def size(self) -> int:
+        """Number of distinct candidates in the space."""
+        return (
+            len(self.depths)
+            * len(self.heads)
+            * len(self.patch_sizes)
+            * len(self.embed_dims)
+            * len(self.hidden_dims)
+        )
+
+    def enumerate(self) -> Iterator[BioformerConfig]:
+        """Yield every candidate (grid-search order)."""
+        self.validate()
+        for depth, heads, patch, embed, hidden in product(
+            self.depths, self.heads, self.patch_sizes, self.embed_dims, self.hidden_dims
+        ):
+            yield self.make_config(depth, heads, patch, embed, hidden)
+
+    def sample(self, rng: np.random.Generator) -> BioformerConfig:
+        """Draw one candidate uniformly at random."""
+        self.validate()
+        return self.make_config(
+            depth=int(rng.choice(self.depths)),
+            num_heads=int(rng.choice(self.heads)),
+            patch_size=int(rng.choice(self.patch_sizes)),
+            embed_dim=int(rng.choice(self.embed_dims)),
+            hidden_dim=int(rng.choice(self.hidden_dims)),
+        )
+
+    def mutate(self, config: BioformerConfig, rng: np.random.Generator) -> BioformerConfig:
+        """Perturb one axis of ``config`` to an adjacent admissible value."""
+        self.validate()
+        axes: Dict[str, Tuple[Sequence[int], int]] = {
+            "depth": (self.depths, config.depth),
+            "num_heads": (self.heads, config.num_heads),
+            "patch_size": (self.patch_sizes, config.patch_size),
+            "embed_dim": (self.embed_dims, config.embed_dim),
+            "hidden_dim": (self.hidden_dims, config.hidden_dim),
+        }
+        mutable = [name for name, (axis, _) in axes.items() if len(axis) > 1]
+        if not mutable:
+            return replace(config)
+        axis_name = str(rng.choice(mutable))
+        axis, current = axes[axis_name]
+        axis = list(axis)
+        position = axis.index(current) if current in axis else 0
+        step = int(rng.choice((-1, 1)))
+        new_position = int(np.clip(position + step, 0, len(axis) - 1))
+        if new_position == position:
+            new_position = int(np.clip(position - step, 0, len(axis) - 1))
+        mutated = replace(config, **{axis_name: axis[new_position]})
+        mutated.validate()
+        return mutated
+
+    def crossover(
+        self, first: BioformerConfig, second: BioformerConfig, rng: np.random.Generator
+    ) -> BioformerConfig:
+        """Uniform crossover of two parents (per-axis coin flip)."""
+        choose = lambda a, b: a if rng.random() < 0.5 else b  # noqa: E731
+        child = self.make_config(
+            depth=choose(first.depth, second.depth),
+            num_heads=choose(first.num_heads, second.num_heads),
+            patch_size=choose(first.patch_size, second.patch_size),
+            embed_dim=choose(first.embed_dim, second.embed_dim),
+            hidden_dim=choose(first.hidden_dim, second.hidden_dim),
+        )
+        return child
+
+    def contains(self, config: BioformerConfig) -> bool:
+        """Whether ``config`` is a point of this space."""
+        return (
+            config.depth in self.depths
+            and config.num_heads in self.heads
+            and config.patch_size in self.patch_sizes
+            and config.embed_dim in self.embed_dims
+            and config.hidden_dim in self.hidden_dims
+            and config.num_channels == self.num_channels
+            and config.window_samples == self.window_samples
+            and config.num_classes == self.num_classes
+        )
+
+    @classmethod
+    def paper(cls, **overrides) -> "SearchSpace":
+        """The exact grid the paper searched (depth x heads x filter)."""
+        return cls(**overrides)
+
+    @classmethod
+    def reduced(cls, num_channels: int, window_samples: int, num_classes: int = 8) -> "SearchSpace":
+        """A smaller space matched to the reduced-scale synthetic datasets."""
+        patch_sizes = tuple(
+            patch for patch in (1, 5, 10, 20) if patch <= max(window_samples // 4, 1)
+        )
+        return cls(
+            depths=(1, 2),
+            heads=(2, 4, 8),
+            patch_sizes=patch_sizes or (1,),
+            num_channels=num_channels,
+            window_samples=window_samples,
+            num_classes=num_classes,
+        )

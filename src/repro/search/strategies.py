@@ -1,0 +1,234 @@
+"""Search strategies: exhaustive grid, random search and evolutionary search.
+
+The paper's own architecture selection is an exhaustive grid over depth,
+heads and filter size.  That grid is small enough to enumerate, but the
+moment the space grows (embedding width, FFN width, per-block heads, ...)
+exhaustive search stops being an option — which is why hardware-aware NAS
+is the standard tool for TinyML model design (and explicitly cited by the
+paper as the way such models are obtained).  This module implements the
+three standard strategies over the :class:`~repro.search.space.SearchSpace`:
+
+* :class:`GridSearch` — evaluate every candidate (the paper's approach);
+* :class:`RandomSearch` — uniform sampling under an evaluation budget;
+* :class:`EvolutionarySearch` — regularised evolution (tournament parent
+  selection + mutation) with constraint handling.
+
+All strategies share the :class:`SearchResult` output: the full evaluation
+history, the accuracy-vs-MACs Pareto frontier and the best feasible
+candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.pareto import ParetoPoint, pareto_frontier
+from ..models.bioformer import BioformerConfig
+from ..utils.tables import format_table
+from .objectives import CandidateEvaluation, ComplexityEvaluator, evaluate_candidate
+from .space import SearchSpace, candidate_name
+
+__all__ = ["SearchResult", "GridSearch", "RandomSearch", "EvolutionarySearch"]
+
+AccuracyEvaluator = Callable[[BioformerConfig], Dict[str, float]]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one architecture-search run."""
+
+    strategy: str
+    history: List[CandidateEvaluation] = field(default_factory=list)
+    constraints: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_evaluations(self) -> int:
+        """Number of candidates that were trained and scored."""
+        return len(self.history)
+
+    def feasible(self) -> List[CandidateEvaluation]:
+        """Candidates satisfying the deployment constraints."""
+        return [candidate for candidate in self.history if candidate.meets(self.constraints)]
+
+    @property
+    def best(self) -> CandidateEvaluation:
+        """Most accurate feasible candidate (falls back to the whole history)."""
+        pool = self.feasible() or self.history
+        if not pool:
+            raise RuntimeError("the search evaluated no candidates")
+        return max(pool, key=lambda candidate: candidate.accuracy)
+
+    def pareto(self, cost: str = "macs") -> List[ParetoPoint]:
+        """Accuracy-vs-``cost`` Pareto frontier over the evaluated candidates."""
+        attribute = {
+            "macs": lambda c: c.macs,
+            "params": lambda c: c.params,
+            "latency_ms": lambda c: c.latency_ms,
+            "energy_mj": lambda c: c.energy_mj,
+            "memory_kb": lambda c: c.memory_kb,
+        }[cost]
+        points = [
+            ParetoPoint(label=candidate.name, cost=float(attribute(candidate)), accuracy=candidate.accuracy)
+            for candidate in self.history
+        ]
+        return pareto_frontier(points)
+
+    def render(self, top: int = 10) -> str:
+        """Plain-text table of the best candidates found."""
+        ranked = sorted(self.history, key=lambda candidate: candidate.accuracy, reverse=True)[:top]
+        rows = [
+            (
+                candidate.name,
+                f"{100 * candidate.accuracy:.1f}%",
+                f"{candidate.mmacs:.2f}",
+                f"{candidate.params / 1e3:.0f}k",
+                f"{candidate.latency_ms:.2f}",
+                "yes" if candidate.meets(self.constraints) else "no",
+            )
+            for candidate in ranked
+        ]
+        return format_table(
+            ("candidate", "accuracy", "MMAC", "params", "latency ms", "feasible"),
+            rows,
+            title=f"{self.strategy} ({self.num_evaluations} evaluations)",
+        )
+
+
+class _BaseStrategy:
+    """Shared bookkeeping of the concrete strategies."""
+
+    name = "search"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        accuracy_evaluator: AccuracyEvaluator,
+        complexity_evaluator: Optional[ComplexityEvaluator] = None,
+        constraints: Optional[Dict[str, float]] = None,
+        seed: int = 0,
+    ) -> None:
+        space.validate()
+        self.space = space
+        self.accuracy_evaluator = accuracy_evaluator
+        self.complexity_evaluator = (
+            complexity_evaluator if complexity_evaluator is not None else ComplexityEvaluator()
+        )
+        self.constraints = dict(constraints or {})
+        self._rng = np.random.default_rng(seed)
+        self._cache: Dict[str, CandidateEvaluation] = {}
+
+    def _evaluate(self, config: BioformerConfig) -> CandidateEvaluation:
+        key = candidate_name(config)
+        if key not in self._cache:
+            self._cache[key] = evaluate_candidate(
+                config, self.accuracy_evaluator, self.complexity_evaluator
+            )
+        return self._cache[key]
+
+    def _result(self, history: Sequence[CandidateEvaluation]) -> SearchResult:
+        return SearchResult(strategy=self.name, history=list(history), constraints=self.constraints)
+
+
+class GridSearch(_BaseStrategy):
+    """Exhaustive evaluation of the whole space (the paper's Sec. III-A search)."""
+
+    name = "grid search"
+
+    def run(self) -> SearchResult:
+        """Evaluate every candidate in the space."""
+        history = [self._evaluate(config) for config in self.space.enumerate()]
+        return self._result(history)
+
+
+class RandomSearch(_BaseStrategy):
+    """Uniform random sampling under a fixed evaluation budget."""
+
+    name = "random search"
+
+    def run(self, budget: int = 16) -> SearchResult:
+        """Evaluate up to ``budget`` distinct random candidates."""
+        if budget < 1:
+            raise ValueError("budget must be at least 1")
+        history: List[CandidateEvaluation] = []
+        seen = set()
+        attempts = 0
+        while len(history) < budget and attempts < 50 * budget:
+            attempts += 1
+            config = self.space.sample(self._rng)
+            key = candidate_name(config)
+            if key in seen:
+                continue
+            seen.add(key)
+            history.append(self._evaluate(config))
+            if len(seen) >= self.space.size:
+                break
+        return self._result(history)
+
+
+class EvolutionarySearch(_BaseStrategy):
+    """Regularised evolution: tournament selection + single-axis mutation.
+
+    Infeasible candidates (violating the deployment constraints) are never
+    selected as parents but stay in the history, so the Pareto analysis sees
+    them.
+    """
+
+    name = "evolutionary search"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        accuracy_evaluator: AccuracyEvaluator,
+        complexity_evaluator: Optional[ComplexityEvaluator] = None,
+        constraints: Optional[Dict[str, float]] = None,
+        population_size: int = 8,
+        tournament_size: int = 3,
+        crossover_probability: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(space, accuracy_evaluator, complexity_evaluator, constraints, seed)
+        if population_size < 2:
+            raise ValueError("population_size must be at least 2")
+        if tournament_size < 1:
+            raise ValueError("tournament_size must be at least 1")
+        self.population_size = population_size
+        self.tournament_size = tournament_size
+        self.crossover_probability = crossover_probability
+
+    def _fitness(self, candidate: CandidateEvaluation) -> float:
+        # Constraint violations are pushed below every feasible candidate.
+        penalty = 0.0 if candidate.meets(self.constraints) else 1.0
+        return candidate.accuracy - penalty
+
+    def _tournament(self, population: List[CandidateEvaluation]) -> CandidateEvaluation:
+        size = min(self.tournament_size, len(population))
+        contenders_idx = self._rng.choice(len(population), size=size, replace=False)
+        contenders = [population[int(index)] for index in contenders_idx]
+        return max(contenders, key=self._fitness)
+
+    def run(self, generations: int = 4) -> SearchResult:
+        """Run the evolutionary loop and return every evaluated candidate."""
+        if generations < 1:
+            raise ValueError("generations must be at least 1")
+        population = [self._evaluate(self.space.sample(self._rng)) for _ in range(self.population_size)]
+        history = list(population)
+        for _ in range(generations):
+            offspring: List[CandidateEvaluation] = []
+            for _ in range(self.population_size):
+                parent = self._tournament(population)
+                if len(population) >= 2 and self._rng.random() < self.crossover_probability:
+                    other = self._tournament(population)
+                    child_config = self.space.crossover(parent.config, other.config, self._rng)
+                else:
+                    child_config = parent.config
+                child_config = self.space.mutate(child_config, self._rng)
+                offspring.append(self._evaluate(child_config))
+            history.extend(offspring)
+            # Regularised evolution: survivors are the fittest of the union.
+            population = sorted(population + offspring, key=self._fitness, reverse=True)[
+                : self.population_size
+            ]
+        return self._result(history)

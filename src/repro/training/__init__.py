@@ -1,0 +1,41 @@
+"""``repro.training`` — training loop, metrics and the paper's protocols."""
+
+from .callbacks import BestModelCheckpoint, EarlyStopping, ExponentialMovingAverage
+from .metrics import (
+    ClassificationReport,
+    accuracy,
+    confusion_matrix,
+    macro_f1,
+    per_class_accuracy,
+)
+from .protocol import (
+    ProtocolConfig,
+    SubjectResult,
+    finetune_subject,
+    pretrain_inter_subject,
+    run_two_step_protocol,
+    train_subject_specific,
+)
+from .trainer import EpochRecord, Trainer, TrainingConfig, TrainingHistory, evaluate
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "macro_f1",
+    "ClassificationReport",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "EpochRecord",
+    "evaluate",
+    "ProtocolConfig",
+    "SubjectResult",
+    "train_subject_specific",
+    "run_two_step_protocol",
+    "pretrain_inter_subject",
+    "finetune_subject",
+    "EarlyStopping",
+    "BestModelCheckpoint",
+    "ExponentialMovingAverage",
+]

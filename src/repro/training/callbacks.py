@@ -1,0 +1,187 @@
+"""Training utilities: early stopping, best-model checkpointing, weight EMA.
+
+The paper trains with fixed epoch budgets (100 pre-training + 20 fine-tuning
+epochs); these helpers cover the knobs a practitioner adds around that loop
+when training on their own data.  They are deliberately standalone — each
+one is driven explicitly from the training script rather than hooked into
+:class:`~repro.training.trainer.Trainer` — so they compose with any loop.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.serialization import load_state_dict, save_state_dict
+
+__all__ = ["EarlyStopping", "BestModelCheckpoint", "ExponentialMovingAverage"]
+
+
+class EarlyStopping:
+    """Stop training when a monitored metric stops improving.
+
+    Parameters
+    ----------
+    patience:
+        Number of consecutive non-improving updates tolerated before
+        :attr:`should_stop` turns ``True``.
+    min_delta:
+        Minimum improvement that counts as progress.
+    mode:
+        ``"max"`` for accuracy-like metrics, ``"min"`` for losses.
+    restore_best:
+        Keep a copy of the best model state and restore it on demand.
+
+    Example
+    -------
+    >>> stopper = EarlyStopping(patience=3)
+    >>> for epoch in range(epochs):
+    ...     ...  # train one epoch
+    ...     if stopper.update(validation_accuracy, model):
+    ...         break
+    >>> stopper.restore(model)
+    """
+
+    def __init__(
+        self,
+        patience: int = 5,
+        min_delta: float = 0.0,
+        mode: str = "max",
+        restore_best: bool = True,
+    ) -> None:
+        if patience < 1:
+            raise ValueError("patience must be at least 1")
+        if mode not in ("max", "min"):
+            raise ValueError("mode must be 'max' or 'min'")
+        if min_delta < 0:
+            raise ValueError("min_delta must be non-negative")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.mode = mode
+        self.restore_best = restore_best
+        self.best_metric: Optional[float] = None
+        self.best_state: Optional[Dict[str, np.ndarray]] = None
+        self.bad_updates = 0
+        self.stopped_at: Optional[int] = None
+        self._updates = 0
+
+    def _improved(self, metric: float) -> bool:
+        if self.best_metric is None:
+            return True
+        if self.mode == "max":
+            return metric > self.best_metric + self.min_delta
+        return metric < self.best_metric - self.min_delta
+
+    @property
+    def should_stop(self) -> bool:
+        """Whether the patience budget has been exhausted."""
+        return self.bad_updates >= self.patience
+
+    def update(self, metric: float, model: Optional[Module] = None) -> bool:
+        """Record one evaluation of the monitored metric.
+
+        Returns ``True`` when training should stop.
+        """
+        self._updates += 1
+        if self._improved(metric):
+            self.best_metric = float(metric)
+            self.bad_updates = 0
+            if self.restore_best and model is not None:
+                self.best_state = model.state_dict()
+        else:
+            self.bad_updates += 1
+            if self.should_stop and self.stopped_at is None:
+                self.stopped_at = self._updates
+        return self.should_stop
+
+    def restore(self, model: Module) -> bool:
+        """Load the best recorded state back into ``model`` (if any)."""
+        if self.best_state is None:
+            return False
+        model.load_state_dict(self.best_state)
+        return True
+
+
+class BestModelCheckpoint:
+    """Persist the best model state to disk as training progresses."""
+
+    def __init__(self, path: str, mode: str = "max") -> None:
+        if mode not in ("max", "min"):
+            raise ValueError("mode must be 'max' or 'min'")
+        self.path = path
+        self.mode = mode
+        self.best_metric: Optional[float] = None
+
+    def update(self, metric: float, model: Module) -> bool:
+        """Save ``model`` when ``metric`` improves; returns ``True`` on save."""
+        improved = (
+            self.best_metric is None
+            or (self.mode == "max" and metric > self.best_metric)
+            or (self.mode == "min" and metric < self.best_metric)
+        )
+        if improved:
+            self.best_metric = float(metric)
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            save_state_dict(model.state_dict(), self.path)
+        return improved
+
+    def load_best(self, model: Module) -> None:
+        """Load the best checkpoint back into ``model``."""
+        if self.best_metric is None or not os.path.exists(self.path):
+            raise FileNotFoundError("no checkpoint has been written yet")
+        model.load_state_dict(load_state_dict(self.path))
+
+
+class ExponentialMovingAverage:
+    """Exponential moving average of a model's parameters.
+
+    EMA weights generalise better than the raw final weights for noisy
+    small-data training, which is exactly the subject-specific fine-tuning
+    regime of the paper.  Typical use::
+
+        ema = ExponentialMovingAverage(model, decay=0.99)
+        for step in training_steps:
+            ...
+            ema.update(model)
+        ema.apply_to(model)      # evaluate with averaged weights
+        ema.restore(model)       # back to the raw weights
+    """
+
+    def __init__(self, model: Module, decay: float = 0.99) -> None:
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must lie in (0, 1)")
+        self.decay = decay
+        self.shadow: Dict[str, np.ndarray] = {
+            name: parameter.data.copy() for name, parameter in model.named_parameters()
+        }
+        self._backup: Optional[Dict[str, np.ndarray]] = None
+        self.num_updates = 0
+
+    def update(self, model: Module) -> None:
+        """Fold the model's current parameters into the moving average."""
+        self.num_updates += 1
+        for name, parameter in model.named_parameters():
+            if name not in self.shadow:
+                raise KeyError(f"parameter '{name}' was not present at EMA construction")
+            self.shadow[name] = (
+                self.decay * self.shadow[name] + (1.0 - self.decay) * parameter.data
+            )
+
+    def apply_to(self, model: Module) -> None:
+        """Swap the averaged weights into ``model`` (keeping a backup)."""
+        self._backup = {name: parameter.data.copy() for name, parameter in model.named_parameters()}
+        for name, parameter in model.named_parameters():
+            parameter.data[...] = self.shadow[name]
+
+    def restore(self, model: Module) -> None:
+        """Undo :meth:`apply_to`, restoring the raw training weights."""
+        if self._backup is None:
+            raise RuntimeError("apply_to() must be called before restore()")
+        for name, parameter in model.named_parameters():
+            parameter.data[...] = self._backup[name]
+        self._backup = None

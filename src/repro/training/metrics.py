@@ -1,0 +1,76 @@
+"""Classification metrics used across the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["accuracy", "confusion_matrix", "per_class_accuracy", "macro_f1", "ClassificationReport"]
+
+
+def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of ``predictions`` equal to ``targets``."""
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must have the same shape")
+    if predictions.size == 0:
+        return 0.0
+    return float((predictions == targets).mean())
+
+
+def confusion_matrix(predictions: np.ndarray, targets: np.ndarray, num_classes: int) -> np.ndarray:
+    """``(num_classes, num_classes)`` matrix with true classes on the rows."""
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for target, prediction in zip(np.asarray(targets), np.asarray(predictions)):
+        matrix[int(target), int(prediction)] += 1
+    return matrix
+
+
+def per_class_accuracy(matrix: np.ndarray) -> np.ndarray:
+    """Recall of every class from a confusion matrix (NaN-free)."""
+    totals = matrix.sum(axis=1)
+    correct = np.diag(matrix)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        recall = np.where(totals > 0, correct / np.maximum(totals, 1), 0.0)
+    return recall
+
+
+def macro_f1(matrix: np.ndarray) -> float:
+    """Macro-averaged F1 score from a confusion matrix."""
+    true_positive = np.diag(matrix).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+    precision = np.where(predicted > 0, true_positive / np.maximum(predicted, 1), 0.0)
+    recall = np.where(actual > 0, true_positive / np.maximum(actual, 1), 0.0)
+    denominator = precision + recall
+    f1 = np.where(denominator > 0, 2 * precision * recall / np.maximum(denominator, 1e-12), 0.0)
+    return float(f1.mean())
+
+
+@dataclass
+class ClassificationReport:
+    """Bundle of evaluation results for one model on one dataset."""
+
+    accuracy: float
+    confusion: np.ndarray
+    loss: Optional[float] = None
+
+    @property
+    def per_class(self) -> np.ndarray:
+        """Per-class recall."""
+        return per_class_accuracy(self.confusion)
+
+    @property
+    def macro_f1(self) -> float:
+        """Macro-averaged F1."""
+        return macro_f1(self.confusion)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary of headline numbers (for logging / tables)."""
+        result = {"accuracy": self.accuracy, "macro_f1": self.macro_f1}
+        if self.loss is not None:
+            result["loss"] = self.loss
+        return result

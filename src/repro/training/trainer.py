@@ -1,0 +1,212 @@
+"""Generic supervised training loop.
+
+The :class:`Trainer` runs mini-batch gradient descent with any optimiser /
+scheduler combination from :mod:`repro.nn`, records a per-epoch history and
+evaluates models on held-out datasets.  Both training phases of the paper's
+protocol (inter-subject pre-training and subject-specific fine-tuning) are
+driven through this class by :mod:`repro.training.protocol`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset, DataLoader
+from ..nn import CrossEntropyLoss, clip_grad_norm, no_grad
+from ..nn.module import Module
+from ..nn.optim import Optimizer
+from ..nn.schedulers import Scheduler
+from ..nn.tensor import Tensor
+from ..utils.logging import get_logger
+from .metrics import ClassificationReport, accuracy, confusion_matrix
+
+__all__ = ["TrainingConfig", "EpochRecord", "TrainingHistory", "Trainer", "evaluate"]
+
+_LOGGER = get_logger("training")
+
+
+@dataclass
+class TrainingConfig:
+    """Knobs of one training phase."""
+
+    epochs: int = 20
+    batch_size: int = 64
+    shuffle: bool = True
+    max_grad_norm: Optional[float] = 5.0
+    label_smoothing: float = 0.0
+    log_every: int = 0  # 0 = only log at the end of each epoch
+    verbose: bool = False
+
+
+@dataclass
+class EpochRecord:
+    """Metrics of a single training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    learning_rate: float
+    validation_accuracy: Optional[float] = None
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulated per-epoch records of one training phase."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        """Add one epoch record."""
+        self.records.append(record)
+
+    @property
+    def final_train_accuracy(self) -> float:
+        """Training accuracy of the last epoch (0 when empty)."""
+        return self.records[-1].train_accuracy if self.records else 0.0
+
+    @property
+    def losses(self) -> List[float]:
+        """Training loss trajectory."""
+        return [record.train_loss for record in self.records]
+
+    @property
+    def learning_rates(self) -> List[float]:
+        """Learning-rate trajectory (one value per epoch)."""
+        return [record.learning_rate for record in self.records]
+
+
+def evaluate(
+    model: Module,
+    dataset: ArrayDataset,
+    batch_size: int = 128,
+    num_classes: Optional[int] = None,
+    loss_function: Optional[Module] = None,
+) -> ClassificationReport:
+    """Evaluate ``model`` on ``dataset`` and return a :class:`ClassificationReport`."""
+    model.eval()
+    classes = num_classes if num_classes is not None else dataset.num_classes
+    predictions = np.zeros(len(dataset), dtype=np.int64)
+    total_loss = 0.0
+    batches = 0
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            stop = min(start + batch_size, len(dataset))
+            windows = dataset.windows[start:stop]
+            labels = dataset.labels[start:stop]
+            logits = model(Tensor(windows))
+            predictions[start:stop] = np.argmax(logits.data, axis=-1)
+            if loss_function is not None:
+                total_loss += float(loss_function(logits, labels).data)
+                batches += 1
+    report = ClassificationReport(
+        accuracy=accuracy(predictions, dataset.labels),
+        confusion=confusion_matrix(predictions, dataset.labels, classes),
+        loss=(total_loss / batches) if batches else None,
+    )
+    return report
+
+
+class Trainer:
+    """Mini-batch supervised trainer.
+
+    Parameters
+    ----------
+    model:
+        The module to optimise.
+    optimizer:
+        Any :class:`repro.nn.Optimizer`.
+    scheduler:
+        Optional learning-rate scheduler stepped **once per epoch** (the
+        granularity used by the paper's warm-up / decay schedules).
+    config:
+        Loop hyper-parameters.
+    rng:
+        Random generator used for shuffling.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        scheduler: Optional[Scheduler] = None,
+        config: Optional[TrainingConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.config = config if config is not None else TrainingConfig()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.loss_function = CrossEntropyLoss(label_smoothing=self.config.label_smoothing)
+        self.history = TrainingHistory()
+
+    def _run_epoch(self, loader: DataLoader, epoch: int) -> EpochRecord:
+        self.model.train()
+        if self.scheduler is not None:
+            learning_rate = self.scheduler.step()
+        else:
+            learning_rate = self.optimizer.lr
+        epoch_loss = 0.0
+        correct = 0
+        seen = 0
+        for batch_index, (windows, labels) in enumerate(loader):
+            logits = self.model(Tensor(windows))
+            loss = self.loss_function(logits, labels)
+            self.optimizer.zero_grad()
+            loss.backward()
+            if self.config.max_grad_norm is not None:
+                clip_grad_norm(self.optimizer.parameters, self.config.max_grad_norm)
+            self.optimizer.step()
+
+            batch_predictions = np.argmax(logits.data, axis=-1)
+            correct += int((batch_predictions == labels).sum())
+            seen += labels.shape[0]
+            epoch_loss += float(loss.data) * labels.shape[0]
+            if self.config.log_every and (batch_index + 1) % self.config.log_every == 0:
+                _LOGGER.info(
+                    "epoch %d batch %d loss %.4f", epoch, batch_index + 1, float(loss.data)
+                )
+        return EpochRecord(
+            epoch=epoch,
+            train_loss=epoch_loss / max(seen, 1),
+            train_accuracy=correct / max(seen, 1),
+            learning_rate=learning_rate,
+        )
+
+    def fit(
+        self,
+        train_dataset: ArrayDataset,
+        validation_dataset: Optional[ArrayDataset] = None,
+        num_classes: Optional[int] = None,
+    ) -> TrainingHistory:
+        """Train for ``config.epochs`` epochs and return the history."""
+        loader = DataLoader(
+            train_dataset,
+            batch_size=self.config.batch_size,
+            shuffle=self.config.shuffle,
+            rng=self._rng,
+        )
+        for epoch in range(1, self.config.epochs + 1):
+            record = self._run_epoch(loader, epoch)
+            if validation_dataset is not None and len(validation_dataset):
+                record.validation_accuracy = evaluate(
+                    self.model, validation_dataset, num_classes=num_classes
+                ).accuracy
+            self.history.append(record)
+            if self.config.verbose:
+                _LOGGER.info(
+                    "epoch %d/%d loss %.4f train_acc %.3f%s",
+                    epoch,
+                    self.config.epochs,
+                    record.train_loss,
+                    record.train_accuracy,
+                    (
+                        f" val_acc {record.validation_accuracy:.3f}"
+                        if record.validation_accuracy is not None
+                        else ""
+                    ),
+                )
+        return self.history

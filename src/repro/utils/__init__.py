@@ -1,0 +1,14 @@
+"""Shared utilities: seeding, simple configuration containers and logging."""
+
+from .rng import SeedSequence, derive_rng, global_rng, set_global_seed
+from .logging import get_logger
+from .tables import format_table
+
+__all__ = [
+    "SeedSequence",
+    "derive_rng",
+    "global_rng",
+    "set_global_seed",
+    "get_logger",
+    "format_table",
+]

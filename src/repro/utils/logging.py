@@ -1,0 +1,34 @@
+"""Tiny logging facade.
+
+The experiment drivers print progress through this module so that tests can
+silence it and the benchmark harness can keep the console output identical
+to the tables in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger"]
+
+_CONFIGURED = False
+
+
+def _configure() -> None:
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    handler = logging.StreamHandler(sys.stdout)
+    handler.setFormatter(logging.Formatter("[%(name)s] %(message)s"))
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    root.setLevel(logging.INFO)
+    root.propagate = False
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger in the ``repro`` hierarchy."""
+    _configure()
+    return logging.getLogger(f"repro.{name}")

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test-suite."""
+
+import numpy as np
+import pytest
+
+from repro.data import NinaProDB6, NinaProDB6Config
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Deterministic random generator shared by the tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> NinaProDB6:
+    """A tiny synthetic NinaPro DB6 instance (seconds to generate)."""
+    return NinaProDB6(NinaProDB6Config.tiny())
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_dataset):
+    """Subject-1 split of the tiny dataset."""
+    from repro.data import subject_split
+
+    return subject_split(tiny_dataset, 1)

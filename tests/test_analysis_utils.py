@@ -1,0 +1,97 @@
+"""Tests of the analysis helpers (Pareto) and shared utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ParetoPoint, is_dominated, pareto_frontier
+from repro.utils import derive_rng, format_table
+from repro.utils.rng import SeedSequence
+
+
+class TestPareto:
+    def _points(self):
+        return [
+            ParetoPoint("cheap-bad", cost=1.0, accuracy=0.5),
+            ParetoPoint("mid", cost=2.0, accuracy=0.7),
+            ParetoPoint("dominated", cost=3.0, accuracy=0.6),
+            ParetoPoint("expensive-good", cost=5.0, accuracy=0.9),
+        ]
+
+    def test_frontier_excludes_dominated(self):
+        frontier = pareto_frontier(self._points())
+        labels = [point.label for point in frontier]
+        assert "dominated" not in labels
+        assert {"cheap-bad", "mid", "expensive-good"} == set(labels)
+
+    def test_frontier_sorted_by_cost(self):
+        frontier = pareto_frontier(self._points())
+        costs = [point.cost for point in frontier]
+        assert costs == sorted(costs)
+
+    def test_is_dominated(self):
+        points = self._points()
+        assert is_dominated(points[2], points)
+        assert not is_dominated(points[3], points)
+
+    def test_duplicate_points_not_self_dominated(self):
+        twin = [ParetoPoint("a", 1.0, 0.5), ParetoPoint("b", 1.0, 0.5)]
+        assert len(pareto_frontier(twin)) == 2
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 100), st.floats(0.0, 1.0)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_frontier_property_no_point_dominates_a_frontier_point(self, raw):
+        points = [ParetoPoint(str(i), cost, acc) for i, (cost, acc) in enumerate(raw)]
+        frontier = pareto_frontier(points)
+        assert frontier, "frontier of a non-empty set is non-empty"
+        for member in frontier:
+            assert not is_dominated(member, points)
+
+
+class TestRngUtils:
+    def test_derive_rng_deterministic(self):
+        a = derive_rng("dataset", 3, seed=7).random(5)
+        b = derive_rng("dataset", 3, seed=7).random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_derive_rng_keys_independent(self):
+        a = derive_rng("dataset", 1, seed=7).random(5)
+        b = derive_rng("dataset", 2, seed=7).random(5)
+        assert not np.allclose(a, b)
+
+    def test_seed_sequence_spawn(self):
+        parent = SeedSequence(3)
+        child_a = parent.spawn("model")
+        child_b = parent.spawn("model")
+        assert child_a.seed == child_b.seed
+        assert parent.spawn("data").seed != child_a.seed
+
+    def test_global_seed(self):
+        from repro.utils.rng import global_rng, set_global_seed
+
+        set_global_seed(11)
+        a = global_rng().random(3)
+        set_global_seed(11)
+        np.testing.assert_allclose(global_rng().random(3), a)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+        # All data lines have the same rendered width.
+        assert len(set(len(line) for line in lines[2:])) <= 2
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,131 @@
+"""Tests of multi-head self-attention and the transformer encoder block."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.attention import FeedForward, MultiHeadSelfAttention, TransformerEncoderBlock
+
+
+@pytest.fixture
+def attention(rng):
+    return MultiHeadSelfAttention(embed_dim=16, num_heads=4, head_dim=8, rng=rng)
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape_preserved(self, attention, rng):
+        x = Tensor(rng.standard_normal((3, 7, 16)))
+        assert attention(x).shape == (3, 7, 16)
+
+    def test_attention_rows_are_probabilities(self, attention, rng):
+        attention.eval()
+        attention(Tensor(rng.standard_normal((2, 5, 16))))
+        maps = attention.last_attention
+        assert maps.shape == (2, 4, 5, 5)
+        np.testing.assert_allclose(maps.sum(axis=-1), 1.0, atol=1e-9)
+        assert np.all(maps >= 0)
+
+    def test_paper_head_dimension_is_independent_of_heads(self, rng):
+        """The paper fixes P=32 regardless of H, so H*P can exceed C."""
+        mhsa = MultiHeadSelfAttention(embed_dim=64, num_heads=8, head_dim=32, rng=rng)
+        assert mhsa.query_projection.out_features == 256
+        assert mhsa.output_projection.in_features == 256
+        assert mhsa.output_projection.out_features == 64
+
+    def test_wrong_embed_dim_raises(self, attention, rng):
+        with pytest.raises(ValueError):
+            attention(Tensor(rng.standard_normal((1, 4, 8))))
+
+    def test_permutation_equivariance_without_positions(self, rng):
+        """Self-attention (without positional encoding) commutes with token
+        permutations — permuting the inputs permutes the outputs."""
+        mhsa = MultiHeadSelfAttention(embed_dim=8, num_heads=2, head_dim=4, rng=rng)
+        mhsa.eval()
+        x = rng.standard_normal((1, 6, 8))
+        permutation = rng.permutation(6)
+        out = mhsa(Tensor(x)).data
+        out_permuted = mhsa(Tensor(x[:, permutation, :])).data
+        np.testing.assert_allclose(out_permuted, out[:, permutation, :], atol=1e-10)
+
+    def test_gradients_flow_to_all_projections(self, attention, rng):
+        x = Tensor(rng.standard_normal((2, 4, 16)), requires_grad=True)
+        (attention(x) ** 2).sum().backward()
+        for module in (
+            attention.query_projection,
+            attention.key_projection,
+            attention.value_projection,
+            attention.output_projection,
+        ):
+            assert module.weight.grad is not None
+            assert np.any(module.weight.grad != 0)
+        assert x.grad is not None
+
+    def test_invalid_head_dim(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(embed_dim=8, num_heads=4, head_dim=0, rng=rng)
+
+    def test_default_head_dim_is_embed_over_heads(self, rng):
+        mhsa = MultiHeadSelfAttention(embed_dim=12, num_heads=3, rng=rng)
+        assert mhsa.head_dim == 4
+
+
+class TestFeedForward:
+    def test_shape_and_hidden_dim(self, rng):
+        ff = FeedForward(embed_dim=16, hidden_dim=32, rng=rng)
+        assert ff(Tensor(rng.standard_normal((2, 5, 16)))).shape == (2, 5, 16)
+        assert ff.expand.out_features == 32
+
+    def test_positionwise_independence(self, rng):
+        """Each token is processed independently of the others."""
+        ff = FeedForward(embed_dim=8, hidden_dim=16, rng=rng)
+        ff.eval()
+        x = rng.standard_normal((1, 4, 8))
+        full = ff(Tensor(x)).data
+        single = ff(Tensor(x[:, 2:3, :])).data
+        np.testing.assert_allclose(full[:, 2:3, :], single, atol=1e-12)
+
+
+class TestTransformerEncoderBlock:
+    def test_shape_preserved(self, rng):
+        block = TransformerEncoderBlock(16, 2, 8, 32, rng=rng)
+        assert block(Tensor(rng.standard_normal((2, 9, 16)))).shape == (2, 9, 16)
+
+    def test_residual_path_at_init(self, rng):
+        """With dropout off, the block output differs from the input but keeps
+        the same scale (pre-norm residual)."""
+        block = TransformerEncoderBlock(16, 2, 8, 32, dropout=0.0, rng=rng)
+        block.eval()
+        x = rng.standard_normal((1, 5, 16))
+        out = block(Tensor(x)).data
+        assert not np.allclose(out, x)
+        assert out.std() < 10 * x.std()
+
+    def test_parameter_count_formula(self, rng):
+        """Parameters = QKV + out-proj + FFN + 2 LayerNorms."""
+        embed, heads, head_dim, hidden = 64, 8, 32, 128
+        block = TransformerEncoderBlock(embed, heads, head_dim, hidden, rng=rng)
+        total_head = heads * head_dim
+        expected = (
+            3 * (embed * total_head + total_head)
+            + total_head * embed + embed
+            + embed * hidden + hidden + hidden * embed + embed
+            + 2 * (2 * embed)
+        )
+        assert block.num_parameters() == expected
+
+    def test_end_to_end_gradcheck(self, rng):
+        block = TransformerEncoderBlock(8, 2, 4, 16, dropout=0.0, rng=rng)
+        block.eval()
+        x = Tensor(rng.standard_normal((1, 3, 8)), requires_grad=True)
+        (block(x) ** 2).mean().backward()
+        index = (0, 1, 4)
+        eps = 1e-6
+        base = x.data[index]
+        x.data[index] = base + eps
+        up = float((block(Tensor(x.data)) ** 2).mean().data)
+        x.data[index] = base - eps
+        down = float((block(Tensor(x.data)) ** 2).mean().data)
+        x.data[index] = base
+        numeric = (up - down) / (2 * eps)
+        assert abs(numeric - x.grad[index]) < 1e-5

@@ -1,0 +1,164 @@
+"""Tests for the sEMG window augmentation transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Augmenter,
+    AugmentationConfig,
+    amplitude_scale,
+    channel_dropout,
+    channel_shift,
+    jitter,
+    magnitude_warp,
+    time_shift,
+    time_warp,
+)
+
+ALL_TRANSFORMS = [
+    jitter,
+    amplitude_scale,
+    channel_dropout,
+    channel_shift,
+    time_shift,
+    time_warp,
+    magnitude_warp,
+]
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(23)
+
+
+@pytest.fixture()
+def windows(rng):
+    return rng.normal(size=(10, 6, 80))
+
+
+class TestIndividualTransforms:
+    @pytest.mark.parametrize("transform", ALL_TRANSFORMS)
+    def test_shape_preserved(self, transform, windows, rng):
+        assert transform(windows, rng).shape == windows.shape
+
+    @pytest.mark.parametrize("transform", ALL_TRANSFORMS)
+    def test_input_not_modified(self, transform, windows, rng):
+        original = windows.copy()
+        transform(windows, rng)
+        np.testing.assert_array_equal(windows, original)
+
+    @pytest.mark.parametrize("transform", ALL_TRANSFORMS)
+    def test_output_finite(self, transform, windows, rng):
+        assert np.all(np.isfinite(transform(windows, rng)))
+
+    def test_jitter_noise_level(self, windows, rng):
+        noisy = jitter(windows, rng, sigma=0.1)
+        residual = noisy - windows
+        assert residual.std() == pytest.approx(0.1, rel=0.15)
+
+    def test_amplitude_scale_keeps_sign_structure(self, windows, rng):
+        scaled = amplitude_scale(windows, rng, sigma=0.05)
+        agreement = np.mean(np.sign(scaled) == np.sign(windows))
+        assert agreement > 0.99
+
+    def test_channel_dropout_zeroes_whole_channels(self, windows, rng):
+        dropped = channel_dropout(windows, rng, probability=0.5)
+        channel_energy = np.abs(dropped).sum(axis=-1)
+        zeroed = channel_energy == 0.0
+        assert zeroed.any()
+        # A zeroed channel must be zero across every sample.
+        for window_index, channel_index in zip(*np.nonzero(zeroed)):
+            np.testing.assert_array_equal(dropped[window_index, channel_index], 0.0)
+
+    def test_channel_dropout_probability_validation(self, windows, rng):
+        with pytest.raises(ValueError):
+            channel_dropout(windows, rng, probability=1.0)
+
+    def test_channel_shift_is_permutation_of_channels(self, windows, rng):
+        shifted = channel_shift(windows, rng, max_shift=2)
+        np.testing.assert_allclose(
+            np.sort(np.abs(shifted).sum(axis=-1), axis=1),
+            np.sort(np.abs(windows).sum(axis=-1), axis=1),
+            rtol=1e-10,
+        )
+
+    def test_channel_shift_zero_is_identity(self, windows, rng):
+        np.testing.assert_array_equal(channel_shift(windows, rng, max_shift=0), windows)
+
+    def test_time_shift_preserves_sample_multiset(self, windows, rng):
+        shifted = time_shift(windows, rng, max_fraction=0.2)
+        np.testing.assert_allclose(
+            np.sort(shifted, axis=-1), np.sort(windows, axis=-1), rtol=1e-10
+        )
+
+    def test_time_warp_bounds_validation(self, windows, rng):
+        with pytest.raises(ValueError):
+            time_warp(windows, rng, max_speed_change=1.0)
+
+    def test_magnitude_warp_knots_validation(self, windows, rng):
+        with pytest.raises(ValueError):
+            magnitude_warp(windows, rng, num_knots=1)
+
+    def test_rejects_wrong_rank(self, rng):
+        with pytest.raises(ValueError):
+            jitter(rng.normal(size=(4, 80)), rng)
+
+    @given(st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_jitter_scales_with_sigma_property(self, sigma):
+        rng = np.random.default_rng(1)
+        windows = np.zeros((4, 3, 200))
+        noisy = jitter(windows, rng, sigma=sigma)
+        assert noisy.std() == pytest.approx(sigma, rel=0.25)
+
+
+class TestAugmenter:
+    def test_reproducible_given_seed(self, windows):
+        config = AugmentationConfig(apply_probability=1.0)
+        first = Augmenter(config, seed=5)(windows)
+        second = Augmenter(config, seed=5)(windows)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_seeds_differ(self, windows):
+        config = AugmentationConfig(apply_probability=1.0)
+        first = Augmenter(config, seed=1)(windows)
+        second = Augmenter(config, seed=2)(windows)
+        assert not np.allclose(first, second)
+
+    def test_zero_probability_is_identity(self, windows):
+        config = AugmentationConfig(apply_probability=0.0)
+        np.testing.assert_array_equal(Augmenter(config)(windows), windows)
+
+    def test_transform_subset_selection(self, windows):
+        config = AugmentationConfig(apply_probability=1.0, transforms=("jitter",))
+        augmented = Augmenter(config, seed=0)(windows)
+        # Jitter alone keeps the shape and changes the values everywhere.
+        assert augmented.shape == windows.shape
+        assert not np.allclose(augmented, windows)
+
+    def test_unknown_transform_rejected(self):
+        with pytest.raises(ValueError, match="unknown transforms"):
+            Augmenter(AugmentationConfig(transforms=("not_a_transform",)))
+
+    def test_available_lists_all(self):
+        assert len(Augmenter().available()) == 7
+
+    def test_augment_dataset_copies(self, windows):
+        labels = np.arange(10) % 8
+        augmenter = Augmenter(AugmentationConfig(apply_probability=1.0), seed=0)
+        augmented_windows, augmented_labels = augmenter.augment_dataset(windows, labels, copies=2)
+        assert augmented_windows.shape == (30, 6, 80)
+        np.testing.assert_array_equal(augmented_labels, np.concatenate([labels] * 3))
+        np.testing.assert_array_equal(augmented_windows[:10], windows)
+
+    def test_augment_dataset_zero_copies(self, windows):
+        labels = np.zeros(10, dtype=int)
+        augmented_windows, augmented_labels = Augmenter().augment_dataset(windows, labels, copies=0)
+        np.testing.assert_array_equal(augmented_windows, windows)
+        assert len(augmented_labels) == 10
+
+    def test_augment_dataset_negative_copies_rejected(self, windows):
+        with pytest.raises(ValueError):
+            Augmenter().augment_dataset(windows, np.zeros(10, dtype=int), copies=-1)

@@ -1,0 +1,273 @@
+"""Tests for the classical classifiers and the baseline pipelines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    DecisionTreeClassifier,
+    FeaturePipeline,
+    FeatureSet,
+    KNeighborsClassifier,
+    LinearDiscriminantAnalysis,
+    LinearSVM,
+    RandomForestClassifier,
+    SoftmaxRegression,
+    StandardScaler,
+    default_baselines,
+    evaluate_baselines,
+    render_baseline_table,
+)
+from repro.data import NinaProDB6, NinaProDB6Config, subject_split
+
+ALL_CLASSIFIERS = [
+    LinearDiscriminantAnalysis,
+    LinearSVM,
+    SoftmaxRegression,
+    KNeighborsClassifier,
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+]
+
+
+def make_blobs(rng, num_classes=3, per_class=40, num_features=6, spread=0.6):
+    """Well-separated Gaussian blobs: every sane classifier should ace them."""
+    centers = rng.normal(scale=4.0, size=(num_classes, num_features))
+    features, labels = [], []
+    for label, center in enumerate(centers):
+        features.append(center + rng.normal(scale=spread, size=(per_class, num_features)))
+        labels.append(np.full(per_class, label))
+    features = np.concatenate(features)
+    labels = np.concatenate(labels)
+    order = rng.permutation(len(labels))
+    return features[order], labels[order]
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(11)
+
+
+@pytest.fixture(scope="module")
+def blobs(rng):
+    return make_blobs(rng)
+
+
+@pytest.fixture(scope="module")
+def tiny_split():
+    dataset = NinaProDB6(NinaProDB6Config.tiny())
+    return subject_split(dataset, 1, include_pretrain=False)
+
+
+# --------------------------------------------------------------------- #
+# Scaler
+# --------------------------------------------------------------------- #
+class TestStandardScaler:
+    def test_fit_transform_standardises(self, rng):
+        features = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        transformed = StandardScaler().fit_transform(features)
+        np.testing.assert_allclose(transformed.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(transformed.std(axis=0), 1.0, atol=1e-6)
+
+    def test_round_trip(self, rng):
+        features = rng.normal(size=(50, 3))
+        scaler = StandardScaler()
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.fit_transform(features)), features, atol=1e-9
+        )
+
+    def test_transform_before_fit_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(rng.normal(size=(5, 2)))
+
+    def test_constant_feature_does_not_blow_up(self):
+        features = np.ones((20, 2))
+        transformed = StandardScaler().fit_transform(features)
+        assert np.all(np.isfinite(transformed))
+
+
+# --------------------------------------------------------------------- #
+# Classifier contract shared by every baseline
+# --------------------------------------------------------------------- #
+class TestClassifierContract:
+    @pytest.mark.parametrize("classifier_type", ALL_CLASSIFIERS)
+    def test_separable_blobs_high_accuracy(self, classifier_type, blobs):
+        features, labels = blobs
+        classifier = classifier_type()
+        classifier.fit(features[:90], labels[:90])
+        assert classifier.score(features[90:], labels[90:]) >= 0.9
+
+    @pytest.mark.parametrize("classifier_type", ALL_CLASSIFIERS)
+    def test_predictions_are_known_classes(self, classifier_type, blobs, rng):
+        features, labels = blobs
+        classifier = classifier_type().fit(features, labels)
+        predictions = classifier.predict(rng.normal(size=(10, features.shape[1])))
+        assert set(np.unique(predictions)) <= set(np.unique(labels))
+
+    @pytest.mark.parametrize("classifier_type", ALL_CLASSIFIERS)
+    def test_predict_before_fit_raises(self, classifier_type, rng):
+        with pytest.raises((RuntimeError, ValueError)):
+            classifier_type().predict(rng.normal(size=(3, 4)))
+
+    @pytest.mark.parametrize("classifier_type", ALL_CLASSIFIERS)
+    def test_nonconsecutive_labels_supported(self, classifier_type, rng):
+        features, labels = make_blobs(rng, num_classes=3)
+        remapped = np.array([2, 5, 9])[labels]
+        classifier = classifier_type().fit(features, remapped)
+        predictions = classifier.predict(features)
+        assert set(np.unique(predictions)) <= {2, 5, 9}
+        assert np.mean(predictions == remapped) >= 0.9
+
+    @pytest.mark.parametrize(
+        "classifier_type",
+        [LinearDiscriminantAnalysis, SoftmaxRegression, KNeighborsClassifier,
+         DecisionTreeClassifier, RandomForestClassifier],
+    )
+    def test_probabilities_are_a_distribution(self, classifier_type, blobs):
+        features, labels = blobs
+        probabilities = classifier_type().fit(features, labels).predict_proba(features[:25])
+        assert probabilities.shape == (25, 3)
+        assert np.all(probabilities >= -1e-12)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-6)
+
+
+# --------------------------------------------------------------------- #
+# Classifier-specific behaviour
+# --------------------------------------------------------------------- #
+class TestLinearModels:
+    def test_lda_shrinkage_validation(self):
+        with pytest.raises(ValueError):
+            LinearDiscriminantAnalysis(shrinkage=1.5)
+
+    def test_lda_full_shrinkage_is_nearest_mean(self, rng):
+        features, labels = make_blobs(rng, spread=0.3)
+        full = LinearDiscriminantAnalysis(shrinkage=1.0).fit(features, labels)
+        assert full.score(features, labels) >= 0.95
+
+    def test_svm_decision_function_shape(self, blobs):
+        features, labels = blobs
+        svm = LinearSVM(epochs=10).fit(features, labels)
+        assert svm.decision_function(features[:7]).shape == (7, 3)
+
+    def test_svm_regularization_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVM(regularization=-1.0)
+
+    def test_svm_deterministic_given_seed(self, blobs):
+        features, labels = blobs
+        first = LinearSVM(epochs=5, seed=3).fit(features, labels).predict(features)
+        second = LinearSVM(epochs=5, seed=3).fit(features, labels).predict(features)
+        np.testing.assert_array_equal(first, second)
+
+    def test_softmax_overfits_training_set(self, rng):
+        features, labels = make_blobs(rng, num_classes=4, per_class=25)
+        model = SoftmaxRegression(epochs=400, learning_rate=0.8).fit(features, labels)
+        assert model.score(features, labels) >= 0.97
+
+
+class TestTreesAndNeighbors:
+    def test_tree_depth_limit_respected(self, blobs):
+        features, labels = blobs
+        tree = DecisionTreeClassifier(max_depth=3).fit(features, labels)
+        assert tree.depth() <= 3
+
+    def test_tree_pure_leaf_on_single_class(self, rng):
+        features = rng.normal(size=(30, 4))
+        labels = np.zeros(30, dtype=int)
+        tree = DecisionTreeClassifier().fit(features, labels)
+        assert tree.depth() == 0
+        assert np.all(tree.predict(features) == 0)
+
+    def test_tree_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+    def test_forest_beats_single_stump_on_noisy_data(self, rng):
+        features, labels = make_blobs(rng, num_classes=4, per_class=60, spread=2.5)
+        train, test = slice(0, 180), slice(180, None)
+        stump = DecisionTreeClassifier(max_depth=2).fit(features[train], labels[train])
+        forest = RandomForestClassifier(num_trees=25, max_depth=8, seed=1).fit(
+            features[train], labels[train]
+        )
+        assert forest.score(features[test], labels[test]) >= stump.score(
+            features[test], labels[test]
+        )
+
+    def test_forest_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(num_trees=0)
+
+    def test_knn_requires_enough_samples(self, rng):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(num_neighbors=10).fit(rng.normal(size=(3, 2)), np.array([0, 1, 0]))
+
+    def test_knn_one_neighbor_memorises_training_set(self, blobs):
+        features, labels = blobs
+        knn = KNeighborsClassifier(num_neighbors=1).fit(features, labels)
+        assert knn.score(features, labels) == 1.0
+
+    @given(st.integers(min_value=1, max_value=9))
+    @settings(max_examples=10, deadline=None)
+    def test_knn_accuracy_property_on_blobs(self, num_neighbors):
+        rng = np.random.default_rng(5)
+        features, labels = make_blobs(rng, num_classes=3, per_class=30, spread=0.4)
+        knn = KNeighborsClassifier(num_neighbors=num_neighbors).fit(features, labels)
+        assert knn.score(features, labels) >= 0.9
+
+
+# --------------------------------------------------------------------- #
+# Pipelines on the sEMG dataset
+# --------------------------------------------------------------------- #
+class TestFeaturePipeline:
+    def test_pipeline_on_tiny_dataset(self, tiny_split):
+        pipeline = FeaturePipeline(LinearDiscriminantAnalysis(), FeatureSet(("mav", "rms", "wl")))
+        pipeline.fit(tiny_split.train)
+        assert pipeline.feature_dimension == tiny_split.train.windows.shape[1] * 3
+        train_accuracy = pipeline.score(tiny_split.train)
+        chance = 1.0 / tiny_split.train.num_classes
+        assert train_accuracy > 2 * chance
+
+    def test_pipeline_generalises_above_chance(self, tiny_split):
+        pipeline = FeaturePipeline(KNeighborsClassifier(num_neighbors=5)).fit(tiny_split.train)
+        chance = 1.0 / tiny_split.train.num_classes
+        assert pipeline.score(tiny_split.test) > chance
+
+    def test_pipeline_predict_before_fit(self, tiny_split):
+        with pytest.raises(RuntimeError):
+            FeaturePipeline(LinearDiscriminantAnalysis()).predict(tiny_split.test.windows)
+
+    def test_pipeline_rejects_empty_dataset(self, tiny_split):
+        from repro.data import ArrayDataset
+
+        empty = ArrayDataset(np.empty((0, 4, 10)), np.empty(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            FeaturePipeline(LinearDiscriminantAnalysis()).fit(empty)
+
+    def test_default_baselines_registry(self):
+        baselines = default_baselines()
+        assert set(baselines) == {"LDA", "LinearSVM", "Softmax", "RandomForest", "kNN"}
+
+    def test_evaluate_baselines_and_table(self, tiny_split):
+        classifiers = {
+            "LDA": LinearDiscriminantAnalysis(),
+            "kNN": KNeighborsClassifier(num_neighbors=3),
+        }
+        results = evaluate_baselines(tiny_split, classifiers=classifiers)
+        assert {result.name for result in results} == {"LDA", "kNN"}
+        for result in results:
+            assert 0.0 <= result.test_accuracy <= 1.0
+            assert set(result.per_session) == set(tiny_split.test_per_session)
+        table = render_baseline_table(results)
+        assert "LDA" in table and "kNN" in table and "%" in table
+
+    def test_classical_baselines_overfit_relative_to_test(self, tiny_split):
+        """The motivating observation: classical pipelines fit the training
+        sessions almost perfectly but drop sharply on later sessions."""
+        results = evaluate_baselines(
+            tiny_split, classifiers={"LDA": LinearDiscriminantAnalysis()}
+        )
+        result = results[0]
+        assert result.train_accuracy > result.test_accuracy

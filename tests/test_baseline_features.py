@@ -1,0 +1,194 @@
+"""Tests for the hand-crafted sEMG feature extractors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines import DEFAULT_FEATURES, FeatureSet
+from repro.baselines.features import (
+    amplitude_histogram,
+    autoregressive_coefficients,
+    hjorth_complexity,
+    hjorth_mobility,
+    integrated_emg,
+    log_detector,
+    mean_absolute_value,
+    root_mean_square,
+    slope_sign_changes,
+    variance,
+    waveform_length,
+    willison_amplitude,
+    zero_crossings,
+)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture(scope="module")
+def windows(rng):
+    return rng.normal(size=(12, 4, 100))
+
+
+finite_windows = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(
+        st.integers(1, 4), st.integers(1, 3), st.integers(8, 40)
+    ),
+    elements=st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+)
+
+
+# --------------------------------------------------------------------- #
+# Individual extractors
+# --------------------------------------------------------------------- #
+class TestAmplitudeFeatures:
+    def test_shapes(self, windows):
+        for extractor in (mean_absolute_value, root_mean_square, integrated_emg, variance,
+                          waveform_length, willison_amplitude, log_detector):
+            assert extractor(windows).shape == (12, 4)
+
+    def test_mav_of_constant_signal(self):
+        constant = np.full((1, 2, 50), 3.0)
+        np.testing.assert_allclose(mean_absolute_value(constant), 3.0)
+        np.testing.assert_allclose(root_mean_square(constant), 3.0)
+        np.testing.assert_allclose(waveform_length(constant), 0.0)
+        np.testing.assert_allclose(variance(constant), 0.0)
+
+    def test_rms_at_least_mav(self, windows):
+        assert np.all(root_mean_square(windows) >= mean_absolute_value(windows) - 1e-12)
+
+    def test_iemg_is_samples_times_mav(self, windows):
+        np.testing.assert_allclose(
+            integrated_emg(windows), mean_absolute_value(windows) * windows.shape[-1]
+        )
+
+    def test_scaling_a_signal_scales_amplitude_features(self, windows):
+        scaled = 2.5 * windows
+        np.testing.assert_allclose(mean_absolute_value(scaled), 2.5 * mean_absolute_value(windows))
+        np.testing.assert_allclose(waveform_length(scaled), 2.5 * waveform_length(windows))
+        np.testing.assert_allclose(variance(scaled), 2.5**2 * variance(windows))
+
+    def test_willison_threshold_monotonic(self, windows):
+        low = willison_amplitude(windows, threshold=0.01)
+        high = willison_amplitude(windows, threshold=1.0)
+        assert np.all(low >= high)
+
+    @given(finite_windows)
+    @settings(max_examples=30, deadline=None)
+    def test_amplitude_features_finite_property(self, batch):
+        for extractor in (mean_absolute_value, root_mean_square, waveform_length, log_detector):
+            assert np.all(np.isfinite(extractor(batch)))
+
+
+class TestFrequencyFeatures:
+    def test_zero_crossings_of_alternating_signal(self):
+        signal = np.tile(np.array([1.0, -1.0]), 25)[None, None, :]
+        assert zero_crossings(signal)[0, 0] == 49
+
+    def test_zero_crossings_of_positive_signal(self):
+        signal = np.abs(np.random.default_rng(0).normal(size=(1, 1, 60))) + 0.1
+        assert zero_crossings(signal)[0, 0] == 0
+
+    def test_slope_sign_changes_of_monotonic_signal(self):
+        ramp = np.linspace(0, 1, 80)[None, None, :]
+        assert slope_sign_changes(ramp)[0, 0] == 0
+
+    def test_slope_sign_changes_of_zigzag(self):
+        zigzag = np.tile(np.array([0.0, 1.0]), 30)[None, None, :]
+        assert slope_sign_changes(zigzag)[0, 0] >= 55
+
+    def test_hjorth_mobility_of_sine_increases_with_frequency(self):
+        time = np.linspace(0, 1, 500)
+        slow = np.sin(2 * np.pi * 5 * time)[None, None, :]
+        fast = np.sin(2 * np.pi * 40 * time)[None, None, :]
+        assert hjorth_mobility(fast)[0, 0] > hjorth_mobility(slow)[0, 0]
+
+    def test_hjorth_complexity_positive(self, windows):
+        assert np.all(hjorth_complexity(windows) > 0)
+
+
+class TestModelBasedFeatures:
+    def test_ar_shape(self, windows):
+        assert autoregressive_coefficients(windows, order=4).shape == (12, 16)
+
+    def test_ar_recovers_known_process(self, rng):
+        # x[t] = 0.7 x[t-1] + noise: the first AR coefficient should be ~0.7.
+        num_samples = 4000
+        noise = rng.normal(size=num_samples)
+        signal = np.zeros(num_samples)
+        for index in range(1, num_samples):
+            signal[index] = 0.7 * signal[index - 1] + noise[index]
+        coefficients = autoregressive_coefficients(signal[None, None, :], order=2)[0]
+        assert coefficients[0] == pytest.approx(0.7, abs=0.08)
+
+    def test_ar_rejects_bad_order(self, windows):
+        with pytest.raises(ValueError):
+            autoregressive_coefficients(windows, order=0)
+        with pytest.raises(ValueError):
+            autoregressive_coefficients(np.zeros((1, 1, 3)), order=5)
+
+    def test_histogram_rows_sum_to_one(self, windows):
+        histogram = amplitude_histogram(windows, bins=8)
+        assert histogram.shape == (12, 32)
+        per_channel = histogram.reshape(12, 4, 8).sum(axis=-1)
+        np.testing.assert_allclose(per_channel, 1.0, atol=1e-9)
+
+    def test_histogram_rejects_single_bin(self, windows):
+        with pytest.raises(ValueError):
+            amplitude_histogram(windows, bins=1)
+
+
+# --------------------------------------------------------------------- #
+# FeatureSet front end
+# --------------------------------------------------------------------- #
+class TestFeatureSet:
+    def test_default_dimension(self, windows):
+        features = FeatureSet()
+        matrix = features.extract(windows)
+        assert matrix.shape == (12, features.dimension(4))
+        assert features.dimension(4) == 4 * len(DEFAULT_FEATURES)
+
+    def test_multiwidth_features_accounted(self, windows):
+        features = FeatureSet(("mav", "ar4", "hist8"))
+        assert features.features_per_channel() == 1 + 4 + 8
+        assert features.extract(windows).shape == (12, 4 * 13)
+
+    def test_feature_names_match_columns(self, windows):
+        features = FeatureSet(("mav", "ar4"))
+        names = features.feature_names(4)
+        assert len(names) == features.extract(windows).shape[1]
+        assert "ch0.mav" in names and "ch3.ar4[3]" in names
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(ValueError, match="unknown features"):
+            FeatureSet(("mav", "nonexistent"))
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSet(())
+
+    def test_available_lists_registry(self):
+        available = FeatureSet.available()
+        assert "rms" in available and "ar4" in available
+
+    def test_single_window_without_batch_axis(self, rng):
+        features = FeatureSet(("mav", "rms"))
+        matrix = features.extract(rng.normal(size=(4, 50)))
+        assert matrix.shape == (1, 8)
+
+    def test_rejects_flat_input(self, rng):
+        with pytest.raises(ValueError):
+            FeatureSet(("mav",)).extract(rng.normal(size=50))
+
+    def test_features_separate_distinct_amplitude_classes(self, rng):
+        quiet = rng.normal(scale=0.1, size=(20, 3, 80))
+        loud = rng.normal(scale=2.0, size=(20, 3, 80))
+        features = FeatureSet(("rms", "wl"))
+        quiet_matrix = features.extract(quiet)
+        loud_matrix = features.extract(loud)
+        assert loud_matrix.mean() > 5 * quiet_matrix.mean()

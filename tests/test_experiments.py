@@ -1,0 +1,182 @@
+"""Tests of the per-figure experiment drivers (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_REFERENCE_ACCURACY,
+    Scale,
+    build_architecture,
+    make_context,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_grid_search,
+    render_table1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_grid_search,
+    run_table1,
+    scaled_filter_dimensions,
+)
+from repro.experiments.table1_gap8 import TABLE1_CONFIGURATIONS
+
+
+@pytest.fixture(scope="module")
+def tiny_context():
+    return make_context(Scale.TINY)
+
+
+class TestContext:
+    def test_make_context_scales(self):
+        tiny = make_context(Scale.TINY)
+        small = make_context(Scale.SMALL, num_subjects=2)
+        assert tiny.window_samples < 300
+        assert small.dataset.config.num_subjects == 2
+        assert tiny.num_classes == 8
+
+    def test_paper_context_geometry(self):
+        context = make_context(Scale.PAPER)
+        assert context.window_samples == 300
+        assert context.protocol.pretrain_epochs == 100
+        assert len(context.subjects) == 10
+
+    def test_build_architecture_clamps_patch(self, tiny_context):
+        model = build_architecture("bio1", tiny_context, patch_size=300)
+        assert model.config.patch_size <= tiny_context.window_samples // 2
+        with pytest.raises(KeyError):
+            build_architecture("mlp", tiny_context)
+
+
+class TestFigure2Driver:
+    def test_series_and_render(self, tiny_context):
+        result = run_figure2(
+            tiny_context, architectures=("bio1",), subjects=[1]
+        )
+        assert ("bio1", False) in result.series and ("bio1", True) in result.series
+        assert set(result.series[("bio1", False)]) == set(tiny_context.dataset.config.testing_sessions)
+        assert 0.0 <= result.overall[("bio1", True)] <= 1.0
+        text = render_figure2(result)
+        assert "Fig. 2" in text and "bio1" in text
+        # The gain accessor works for included architectures.
+        assert isinstance(result.pretraining_gain("bio1"), float)
+
+
+class TestFigure3Driver:
+    def test_per_subject_gains(self, tiny_context):
+        result = run_figure3(tiny_context, subjects=[1])
+        assert set(result.standard) == {1}
+        assert set(result.gains) == {1}
+        split = result.gain_by_baseline(0.6)
+        assert set(split) == {"weak_subjects", "strong_subjects"}
+        assert "Fig. 3" in render_figure3(result)
+
+
+class TestFigure4Driver:
+    def test_scaled_filters_subset_of_paper(self, tiny_context):
+        filters = scaled_filter_dimensions(tiny_context)
+        assert set(filters).issubset({1, 5, 10, 20, 30})
+        assert all(tiny_context.window_samples // f >= 2 for f in filters)
+
+    def test_sweep_and_render(self, tiny_context):
+        result = run_figure4(
+            tiny_context,
+            variants=("bio1",),
+            protocols=(False,),
+            subjects=[1],
+            filter_dimensions=(10, 20),
+        )
+        assert set(result.accuracy[("bio1", False)]) == {10, 20}
+        assert result.best_filter("bio1", False) in (10, 20)
+        assert "filter" in render_figure4(result)
+
+
+class TestFigure5Driver:
+    def test_reference_point_cloud(self):
+        result = run_figure5()
+        labels = [point.label for point in result.points]
+        assert any("temponet" in label for label in labels)
+        assert len(result.points) >= 10
+
+    def test_bioformers_populate_pareto(self):
+        """Paper: apart from pre-trained TEMPONet, the Pareto frontier is
+        populated by Bioformers."""
+        result = run_figure5()
+        frontier = result.pareto_by_macs()
+        non_temponet = [p for p in frontier if "temponet" not in p.label]
+        assert len(non_temponet) >= len(frontier) - 1
+        assert len(non_temponet) >= 2
+
+    def test_mac_reduction_headline(self):
+        result = run_figure5()
+        assert 4.0 < result.mac_reduction_vs_temponet("bio1", 10) < 6.5
+
+    def test_params_nearly_constant_across_filters(self):
+        result = run_figure5()
+        params = [
+            result.find("bio1", f, True).params for f in (10, 20, 30)
+        ]
+        assert (max(params) - min(params)) / min(params) < 0.25
+
+    def test_custom_accuracies_override(self):
+        result = run_figure5(accuracies={("bio1", 10, True): 0.99})
+        assert result.find("bio1", 10, True).accuracy == pytest.approx(0.99)
+
+    def test_render(self):
+        text = render_figure5(run_figure5())
+        assert "Pareto" in text and "MMAC" in text
+
+    def test_missing_point_raises(self):
+        with pytest.raises(KeyError):
+            run_figure5().find("bio1", 999, True)
+
+
+class TestTable1Driver:
+    def test_deployment_only_columns(self):
+        result = run_table1(measure_accuracy=False)
+        assert len(result.rows) == len(TABLE1_CONFIGURATIONS)
+        bio1 = result.row("Bio1, wind=10")
+        tcn = result.row("TEMPONet")
+        assert bio1.memory_kb == pytest.approx(94.2, rel=0.05)
+        assert tcn.memory_kb == pytest.approx(461, rel=0.05)
+        assert result.energy_ratio() > 6.0
+        assert result.memory_ratio() == pytest.approx(4.9, rel=0.15)
+        assert not tcn.real_time and bio1.real_time
+        assert "Table I" in render_table1(result)
+
+    def test_row_lookup_error(self):
+        with pytest.raises(KeyError):
+            run_table1(measure_accuracy=False).row("ResNet")
+
+    def test_with_accuracy_measurement(self, tiny_context):
+        result = run_table1(
+            tiny_context,
+            configurations=(("Bio1, wind=10", "bio1", 10),),
+            measure_accuracy=True,
+        )
+        row = result.rows[0]
+        assert row.quantized_accuracy is not None
+        assert 0.0 <= row.quantized_accuracy <= 1.0
+        assert row.float_accuracy is not None
+
+
+class TestGridSearchDriver:
+    def test_small_grid(self, tiny_context):
+        result = run_grid_search(tiny_context, depths=(1,), heads=(2, 8), subjects=[1])
+        assert set(result.accuracy) == {(1, 2), (1, 8)}
+        assert result.params[(1, 8)] > result.params[(1, 2)]
+        assert result.best() in result.accuracy
+        assert len(result.pareto()) >= 1
+        assert "grid" in render_grid_search(result)
+
+
+class TestPaperReferenceData:
+    def test_reference_accuracies_sane(self):
+        for key, value in PAPER_REFERENCE_ACCURACY.items():
+            assert 0.5 < value < 0.75, key
+        # The paper's headline numbers are present.
+        assert PAPER_REFERENCE_ACCURACY[("bio1", 10, True)] == pytest.approx(0.6573)
+        assert PAPER_REFERENCE_ACCURACY[("temponet", 0, False)] == pytest.approx(0.65)

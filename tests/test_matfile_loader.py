@@ -1,0 +1,202 @@
+"""Tests for the real NinaPro ``.mat`` recording loader.
+
+No real NinaPro files exist in this environment, so the tests synthesise
+``.mat`` files with the DB6 field layout (``emg``, ``restimulus``,
+``rerepetition``) via :func:`scipy.io.savemat` and check that the loader
+turns them into the repository's window datasets.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from scipy import io as sp_io
+
+from repro.data import (
+    ArrayDataset,
+    MatLoaderConfig,
+    NinaProMatLoader,
+    load_mat_recording,
+)
+from repro.data.matfile import parse_session_from_filename
+
+SAMPLING_HZ = 500.0  # reduced rate keeps the synthetic files small
+
+
+def write_fake_recording(
+    path,
+    num_channels=14,
+    gestures=(0, 1, 2),
+    segment_samples=400,
+    seed=0,
+    stimulus_key="restimulus",
+    repetition_key="rerepetition",
+):
+    """Write a DB6-style .mat file with alternating gesture segments."""
+    rng = np.random.default_rng(seed)
+    stimulus = np.concatenate([np.full(segment_samples, g) for g in gestures])
+    emg = rng.normal(size=(stimulus.size, num_channels))
+    # Give each gesture a distinct per-channel amplitude signature.
+    for gesture in gestures:
+        emg[stimulus == gesture] *= 1.0 + 0.5 * gesture
+    repetition = np.concatenate(
+        [np.full(segment_samples, index + 1) for index in range(len(gestures))]
+    )
+    sp_io.savemat(
+        str(path),
+        {"emg": emg, stimulus_key: stimulus.reshape(-1, 1), repetition_key: repetition.reshape(-1, 1)},
+    )
+    return str(path)
+
+
+@pytest.fixture()
+def loader():
+    return NinaProMatLoader(
+        MatLoaderConfig(sampling_rate_hz=SAMPLING_HZ, window_ms=200.0, slide_ms=100.0)
+    )
+
+
+class TestFilenameParsing:
+    def test_db6_convention(self):
+        assert parse_session_from_filename("S3_D2_T1.mat") == (3, 3)
+        assert parse_session_from_filename("S10_D5_T2.mat") == (10, 10)
+        assert parse_session_from_filename("/data/db6/S1_D1_T1.mat") == (1, 1)
+
+    def test_unknown_name(self):
+        assert parse_session_from_filename("recording.mat") == (None, None)
+
+
+class TestLoadRecording:
+    def test_basic_fields(self, tmp_path):
+        path = write_fake_recording(tmp_path / "S2_D1_T2.mat")
+        recording = load_mat_recording(path)
+        assert recording.num_channels == 14
+        assert recording.num_samples == 1200
+        assert recording.subject == 2 and recording.session == 2
+        assert set(recording.gestures_present) == {0, 1, 2}
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            load_mat_recording("/nonexistent/S1_D1_T1.mat")
+
+    def test_missing_emg_variable(self, tmp_path):
+        path = tmp_path / "S1_D1_T1.mat"
+        sp_io.savemat(str(path), {"restimulus": np.zeros((10, 1))})
+        with pytest.raises(KeyError, match="emg"):
+            load_mat_recording(str(path))
+
+    def test_missing_stimulus_variable(self, tmp_path):
+        path = tmp_path / "S1_D1_T1.mat"
+        sp_io.savemat(str(path), {"emg": np.zeros((10, 4))})
+        with pytest.raises(KeyError, match="stimulus"):
+            load_mat_recording(str(path))
+
+    def test_stimulus_fallback_key(self, tmp_path):
+        path = write_fake_recording(
+            tmp_path / "S1_D1_T1.mat", stimulus_key="stimulus", repetition_key="repetition"
+        )
+        recording = load_mat_recording(path)
+        assert recording.num_samples == 1200
+
+    def test_unmapped_gestures_marked(self, tmp_path):
+        path = write_fake_recording(tmp_path / "S1_D1_T1.mat", gestures=(0, 40))
+        recording = load_mat_recording(path)
+        assert -1 in recording.stimulus  # gesture 40 is not in the class map
+
+    def test_custom_class_map(self, tmp_path):
+        path = write_fake_recording(tmp_path / "S1_D1_T1.mat", gestures=(0, 40))
+        recording = load_mat_recording(path, class_map={0: 0, 40: 1})
+        assert set(recording.gestures_present) == {0, 1}
+
+
+class TestWindowing:
+    def test_windows_have_paper_geometry(self, loader, tmp_path):
+        path = write_fake_recording(tmp_path / "S1_D1_T1.mat")
+        dataset = loader.load_file(path)
+        window_samples = loader.config.window_samples
+        assert isinstance(dataset, ArrayDataset)
+        assert dataset.windows.shape[1:] == (14, window_samples)
+        assert len(dataset) > 0
+        assert set(np.unique(dataset.labels)) <= {0, 1, 2}
+
+    def test_homogeneous_label_filter(self, tmp_path):
+        config = MatLoaderConfig(
+            sampling_rate_hz=SAMPLING_HZ,
+            window_ms=200.0,
+            slide_ms=100.0,
+            require_homogeneous_labels=True,
+        )
+        path = write_fake_recording(tmp_path / "S1_D1_T1.mat")
+        strict = NinaProMatLoader(config).load_file(path)
+        relaxed_config = MatLoaderConfig(
+            sampling_rate_hz=SAMPLING_HZ,
+            window_ms=200.0,
+            slide_ms=100.0,
+            require_homogeneous_labels=False,
+        )
+        relaxed = NinaProMatLoader(relaxed_config).load_file(path)
+        assert len(relaxed) >= len(strict)
+        # Strict windows never straddle a gesture boundary, so each window's
+        # label set is a single value by construction.
+
+    def test_unmapped_windows_dropped(self, loader, tmp_path):
+        path = write_fake_recording(tmp_path / "S1_D1_T1.mat", gestures=(0, 40))
+        dataset = loader.load_file(path)
+        assert set(np.unique(dataset.labels)) <= {0}
+
+    def test_metadata_carries_subject_and_session(self, loader, tmp_path):
+        path = write_fake_recording(tmp_path / "S4_D3_T2.mat")
+        dataset = loader.load_file(path)
+        assert set(np.unique(dataset.metadata["subject"])) == {4}
+        assert set(np.unique(dataset.metadata["session"])) == {6}
+
+    def test_recording_shorter_than_window(self, tmp_path):
+        config = MatLoaderConfig(sampling_rate_hz=SAMPLING_HZ, window_ms=10000.0, slide_ms=100.0)
+        path = write_fake_recording(tmp_path / "S1_D1_T1.mat", segment_samples=100)
+        dataset = NinaProMatLoader(config).load_file(path)
+        assert len(dataset) == 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            NinaProMatLoader(MatLoaderConfig(sampling_rate_hz=0.0))
+
+
+class TestDirectoryWorkflow:
+    def _populate(self, directory, subject=1, sessions=(1, 2, 3, 4, 5, 6)):
+        paths = []
+        for session in sessions:
+            day = (session - 1) // 2 + 1
+            time = (session - 1) % 2 + 1
+            name = f"S{subject}_D{day}_T{time}.mat"
+            paths.append(write_fake_recording(os.path.join(directory, name), seed=session))
+        return paths
+
+    def test_discover_filters_by_subject(self, loader, tmp_path):
+        self._populate(str(tmp_path), subject=1, sessions=(1, 2))
+        self._populate(str(tmp_path), subject=2, sessions=(1,))
+        assert len(loader.discover(str(tmp_path))) == 3
+        assert len(loader.discover(str(tmp_path), subject=1)) == 2
+
+    def test_discover_missing_directory(self, loader):
+        with pytest.raises(FileNotFoundError):
+            loader.discover("/nonexistent/db6")
+
+    def test_load_subject_sessions(self, loader, tmp_path):
+        self._populate(str(tmp_path), subject=3, sessions=(1, 2, 3))
+        sessions = loader.load_subject(str(tmp_path), subject=3)
+        assert set(sessions) == {1, 2, 3}
+        assert all(len(dataset) > 0 for dataset in sessions.values())
+
+    def test_train_test_split_protocol(self, loader, tmp_path):
+        self._populate(str(tmp_path), subject=1, sessions=(1, 2, 3, 4, 5, 6, 7))
+        sessions = loader.load_subject(str(tmp_path), subject=1)
+        train, test = loader.train_test_split(sessions, training_sessions=(1, 2, 3, 4, 5))
+        assert len(train) > 0 and len(test) > 0
+        assert set(np.unique(train.metadata["session"])) <= {1, 2, 3, 4, 5}
+        assert set(np.unique(test.metadata["session"])) <= {6, 7}
+
+    def test_train_test_split_requires_both_sides(self, loader, tmp_path):
+        self._populate(str(tmp_path), subject=1, sessions=(1, 2))
+        sessions = loader.load_subject(str(tmp_path), subject=1)
+        with pytest.raises(ValueError):
+            loader.train_test_split(sessions, training_sessions=(1, 2))

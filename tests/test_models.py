@@ -1,0 +1,205 @@
+"""Tests of the Bioformer and TEMPONet architectures."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    Bioformer,
+    BioformerConfig,
+    TEMPONet,
+    TEMPONetConfig,
+    available_models,
+    bioformer_bio1,
+    bioformer_bio2,
+    bioformer_filter_sweep,
+    bioformer_grid,
+    build_model,
+    temponet,
+)
+from repro.nn import Tensor
+
+
+class TestBioformerConfig:
+    def test_paper_defaults(self):
+        config = BioformerConfig()
+        assert config.embed_dim == 64
+        assert config.head_dim == 32
+        assert config.hidden_dim == 128
+        assert config.num_channels == 14
+        assert config.window_samples == 300
+        assert config.num_classes == 8
+
+    def test_token_count_per_filter_dimension(self):
+        """300-sample windows: filter {1,5,10,20,30} -> {300,60,30,15,10} tokens."""
+        for patch, expected in [(1, 300), (5, 60), (10, 30), (20, 15), (30, 10)]:
+            config = BioformerConfig(patch_size=patch)
+            assert config.num_tokens == expected
+            assert config.sequence_length == expected + 1  # class token
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            BioformerConfig(patch_size=0).validate()
+        with pytest.raises(ValueError):
+            BioformerConfig(patch_size=400).validate()
+        with pytest.raises(ValueError):
+            BioformerConfig(depth=0).validate()
+        with pytest.raises(ValueError):
+            BioformerConfig(pooling="cls").validate()
+
+    def test_with_patch_size_copy(self):
+        config = BioformerConfig(patch_size=10)
+        other = config.with_patch_size(30)
+        assert other.patch_size == 30 and config.patch_size == 10
+
+    def test_describe(self):
+        assert BioformerConfig(num_heads=8, depth=1, patch_size=10).describe() == "Bioformer(h=8,d=1,f=10)"
+
+
+class TestBioformerModel:
+    def test_forward_shape(self, rng):
+        model = bioformer_bio1(patch_size=10, window_samples=100)
+        out = model(Tensor(rng.standard_normal((4, 14, 100))))
+        assert out.shape == (4, 8)
+
+    def test_accepts_raw_numpy(self, rng):
+        model = bioformer_bio2(patch_size=10, window_samples=100)
+        assert model(rng.standard_normal((2, 14, 100))).shape == (2, 8)
+
+    def test_bio1_parameter_count_matches_paper_memory(self):
+        """Paper Table I: Bio1 (filter 10) occupies 94.2 kB as int8."""
+        model = bioformer_bio1(patch_size=10)
+        assert abs(model.num_parameters() - 94_200) < 4_000
+
+    def test_bio2_parameter_count_matches_paper_memory(self):
+        """Paper Table I: Bio2 (filter 10) occupies 78.3 kB as int8."""
+        model = bioformer_bio2(patch_size=10)
+        assert abs(model.num_parameters() - 78_300) < 4_000
+
+    def test_bio1_has_one_block_bio2_has_two(self):
+        assert len(bioformer_bio1().blocks) == 1
+        assert len(bioformer_bio2().blocks) == 2
+        assert bioformer_bio1().blocks[0].attention.num_heads == 8
+        assert bioformer_bio2().blocks[0].attention.num_heads == 2
+
+    def test_filter_dimension_only_changes_first_layer_params(self):
+        """Fig. 5b: the filter dimension barely moves the parameter count —
+        only the front-end convolution and the positional embedding change."""
+        params = {f: bioformer_bio1(patch_size=f).num_parameters() for f in (10, 30)}
+        conv_delta = 14 * 64 * 20  # conv kernel grows from 10 to 30 taps
+        position_delta = (300 // 10 - 300 // 30) * 64  # fewer tokens -> fewer positions
+        assert params[30] - params[10] == conv_delta - position_delta
+        # And the overall change is small relative to the model (paper Fig. 5b).
+        assert abs(params[30] - params[10]) / params[10] < 0.25
+
+    def test_mean_pooling_variant(self, rng):
+        model = Bioformer(BioformerConfig(window_samples=100, patch_size=10, pooling="mean"))
+        assert model(Tensor(rng.standard_normal((2, 14, 100)))).shape == (2, 8)
+        assert not hasattr(model, "class_token")
+
+    def test_no_positional_embedding_variant(self, rng):
+        model = Bioformer(
+            BioformerConfig(window_samples=100, patch_size=10, use_positional_embedding=False)
+        )
+        assert model(Tensor(rng.standard_normal((1, 14, 100)))).shape == (1, 8)
+        assert not hasattr(model, "positional_embedding")
+
+    def test_wrong_input_shape_raises(self, rng):
+        model = bioformer_bio1(patch_size=10, window_samples=100)
+        with pytest.raises(ValueError):
+            model(Tensor(rng.standard_normal((2, 10, 100))))
+
+    def test_attention_maps_exposed(self, rng):
+        model = bioformer_bio1(patch_size=10, window_samples=100)
+        model.eval()
+        model(Tensor(rng.standard_normal((2, 14, 100))))
+        maps = model.attention_maps()
+        assert len(maps) == 1
+        assert maps[0].shape == (2, 8, 11, 11)  # 10 tokens + class token
+
+    def test_deterministic_construction(self, rng):
+        a = bioformer_bio1(patch_size=10, window_samples=100, seed=3)
+        b = bioformer_bio1(patch_size=10, window_samples=100, seed=3)
+        x = rng.standard_normal((1, 14, 100))
+        a.eval(), b.eval()
+        np.testing.assert_allclose(a(Tensor(x)).data, b(Tensor(x)).data)
+
+    def test_gradients_reach_every_parameter(self, rng):
+        model = bioformer_bio2(patch_size=20, window_samples=100)
+        from repro.nn import functional as F
+
+        logits = model(Tensor(rng.standard_normal((4, 14, 100))))
+        F.cross_entropy(logits, np.array([0, 1, 2, 3])).backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_features_output_dim(self, rng):
+        model = bioformer_bio1(patch_size=10, window_samples=100)
+        features = model.features(Tensor(rng.standard_normal((3, 14, 100))))
+        assert features.shape == (3, 64)
+
+
+class TestTEMPONet:
+    def test_forward_shape(self, rng):
+        model = temponet(window_samples=100)
+        assert model(Tensor(rng.standard_normal((2, 14, 100)))).shape == (2, 8)
+
+    def test_parameter_count_matches_paper_memory(self):
+        """Paper Table I: TEMPONet occupies ~461 kB as int8."""
+        model = temponet(window_samples=300)
+        assert abs(model.num_parameters() - 461_000) < 15_000
+
+    def test_larger_than_bioformer(self):
+        """The headline memory claim: ~4.9x larger than Bio1."""
+        ratio = temponet().num_parameters() / bioformer_bio1(patch_size=10).num_parameters()
+        assert 4.0 < ratio < 6.0
+
+    def test_window_too_short_raises(self):
+        with pytest.raises(ValueError):
+            TEMPONetConfig(window_samples=8).validate()
+
+    def test_wrong_channel_count_raises(self, rng):
+        model = temponet(window_samples=100)
+        with pytest.raises(ValueError):
+            model(Tensor(rng.standard_normal((1, 3, 100))))
+
+    def test_feature_map_channels(self, rng):
+        model = temponet(window_samples=300)
+        features = model.features(Tensor(rng.standard_normal((1, 14, 300))))
+        assert features.shape[1] == 128  # last block channel width
+
+    def test_gradients_reach_every_parameter(self, rng):
+        from repro.nn import functional as F
+
+        model = temponet(window_samples=64)
+        logits = model(Tensor(rng.standard_normal((4, 14, 64))))
+        F.cross_entropy(logits, np.array([0, 1, 2, 3])).backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert set(available_models()) == {"bio1", "bio2", "temponet"}
+
+    def test_build_model_dispatch(self):
+        assert isinstance(build_model("bio1"), Bioformer)
+        assert isinstance(build_model("TEMPONET"), TEMPONet)
+        with pytest.raises(KeyError):
+            build_model("resnet")
+
+    def test_build_temponet_ignores_patch_size(self):
+        model = build_model("temponet", patch_size=10, window_samples=300)
+        assert isinstance(model, TEMPONet)
+
+    def test_grid_covers_paper_search_space(self):
+        configs = bioformer_grid()
+        assert len(configs) == 16
+        assert {(c.depth, c.num_heads) for c in configs} == {
+            (d, h) for d in (1, 2, 3, 4) for h in (1, 2, 4, 8)
+        }
+
+    def test_filter_sweep(self):
+        models = bioformer_filter_sweep("bio1", window_samples=300)
+        assert len(models) == 5
+        assert [m.config.patch_size for m in models] == [1, 5, 10, 20, 30]
+        with pytest.raises(ValueError):
+            bioformer_filter_sweep("bio3")

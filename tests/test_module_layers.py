@@ -1,0 +1,219 @@
+"""Tests of the module system and the stateful layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class TestModuleRegistration:
+    def test_parameters_are_registered_on_assignment(self):
+        class Toy(Module):
+            def __init__(self):
+                super().__init__()
+                self.weight = Parameter(np.ones((2, 2)))
+                self.child = nn.Linear(2, 2)
+
+        toy = Toy()
+        names = [name for name, _ in toy.named_parameters()]
+        assert "weight" in names
+        assert "child.weight" in names and "child.bias" in names
+
+    def test_num_parameters(self):
+        layer = nn.Linear(10, 4)
+        assert layer.num_parameters() == 10 * 4 + 4
+
+    def test_modules_and_children_traversal(self):
+        model = nn.Sequential(nn.Linear(2, 3), nn.ReLU(), nn.Linear(3, 1))
+        assert len(list(model.children())) == 3
+        assert len(list(model.modules())) == 4  # container + 3 children
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        layer = nn.Linear(3, 2)
+        out = layer(Tensor(np.ones((1, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+    def test_repr_contains_children(self):
+        text = repr(nn.Sequential(nn.Linear(2, 2)))
+        assert "Linear" in text
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        source = nn.Sequential(nn.Linear(4, 3), nn.ReLU(), nn.Linear(3, 2))
+        target = nn.Sequential(nn.Linear(4, 3), nn.ReLU(), nn.Linear(3, 2))
+        target.load_state_dict(source.state_dict())
+        for (_, a), (_, b) in zip(source.named_parameters(), target.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_strict_mismatch_raises(self):
+        model = nn.Linear(2, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"weight": np.zeros((2, 2))})  # missing bias
+
+    def test_shape_mismatch_raises(self):
+        model = nn.Linear(2, 2)
+        state = model.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_buffers_included(self):
+        bn = nn.BatchNorm1d(4)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_non_strict_allows_subset(self):
+        model = nn.Linear(2, 2)
+        model.load_state_dict({"weight": np.ones((2, 2))}, strict=False)
+        np.testing.assert_allclose(model.weight.data, np.ones((2, 2)))
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        model = nn.Sequential(nn.Linear(3, 3), nn.ReLU())
+        out = model(Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 3)
+        assert np.all(out.data >= 0)
+
+    def test_sequential_indexing_and_len(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], nn.ReLU)
+
+    def test_modulelist_registers_parameters(self):
+        blocks = nn.ModuleList([nn.Linear(2, 2) for _ in range(3)])
+        assert len(blocks) == 3
+        assert len(blocks.parameters()) == 6
+
+    def test_modulelist_not_callable(self):
+        with pytest.raises(RuntimeError):
+            nn.ModuleList([nn.ReLU()])(Tensor([1.0]))
+
+
+class TestLinearLayer:
+    def test_shapes_and_no_bias(self, rng):
+        layer = nn.Linear(6, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert layer(Tensor(np.ones((5, 6)))).shape == (5, 3)
+
+    def test_3d_input(self, rng):
+        layer = nn.Linear(4, 2, rng=rng)
+        assert layer(Tensor(np.ones((2, 7, 4)))).shape == (2, 7, 2)
+
+    def test_deterministic_with_seeded_rng(self):
+        a = nn.Linear(4, 4, rng=np.random.default_rng(5))
+        b = nn.Linear(4, 4, rng=np.random.default_rng(5))
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+
+class TestConv1dLayer:
+    def test_output_length_helper_matches_forward(self, rng):
+        layer = nn.Conv1d(3, 8, kernel_size=5, stride=2, padding=2, dilation=2, rng=rng)
+        out = layer(Tensor(rng.standard_normal((2, 3, 40))))
+        assert out.shape[-1] == layer.output_length(40)
+
+    def test_patch_embedding_geometry(self, rng):
+        """The Bioformer front-end: kernel == stride, no padding."""
+        layer = nn.Conv1d(14, 64, kernel_size=10, stride=10, rng=rng)
+        out = layer(Tensor(rng.standard_normal((1, 14, 300))))
+        assert out.shape == (1, 64, 30)
+
+    def test_bias_toggle(self, rng):
+        layer = nn.Conv1d(2, 2, 3, bias=False, rng=rng)
+        assert layer.bias is None
+
+
+class TestNormalisationLayers:
+    def test_layernorm_learnable_parameters(self, rng):
+        layer = nn.LayerNorm(16)
+        out = layer(Tensor(rng.standard_normal((4, 16))))
+        assert out.shape == (4, 16)
+        assert layer.weight.shape == (16,) and layer.bias.shape == (16,)
+
+    def test_batchnorm_running_stats_update_only_in_training(self, rng):
+        layer = nn.BatchNorm1d(3)
+        x = Tensor(rng.standard_normal((32, 3)) + 4)
+        layer.train()
+        layer(x)
+        mean_after_train = layer.running_mean.copy()
+        layer.eval()
+        layer(x)
+        np.testing.assert_allclose(layer.running_mean, mean_after_train)
+
+    def test_batchnorm_eval_deterministic(self, rng):
+        layer = nn.BatchNorm1d(3)
+        layer.eval()
+        x = Tensor(rng.standard_normal((8, 3)))
+        np.testing.assert_allclose(layer(x).data, layer(x).data)
+
+
+class TestUtilityLayers:
+    def test_dropout_module_respects_mode(self, rng):
+        layer = nn.Dropout(0.9, rng=rng)
+        x = Tensor(np.ones((100,)))
+        layer.eval()
+        np.testing.assert_allclose(layer(x).data, 1.0)
+        layer.train()
+        assert (layer(x).data == 0).any()
+
+    def test_flatten(self):
+        assert nn.Flatten()(Tensor(np.zeros((2, 3, 4)))).shape == (2, 12)
+
+    def test_identity(self):
+        x = Tensor(np.ones(3))
+        assert nn.Identity()(x) is x
+
+    def test_pooling_modules(self, rng):
+        x = Tensor(rng.standard_normal((2, 4, 12)))
+        assert nn.AvgPool1d(2)(x).shape == (2, 4, 6)
+        assert nn.MaxPool1d(3)(x).shape == (2, 4, 4)
+        assert nn.GlobalAveragePool1d()(x).shape == (2, 4)
+
+    def test_activation_modules(self, rng):
+        x = Tensor(rng.standard_normal((3, 3)))
+        for module in (nn.ReLU(), nn.GELU(), nn.Tanh(), nn.Sigmoid()):
+            assert module(x).shape == (3, 3)
+
+
+class TestInitializers:
+    def test_fan_computation(self):
+        from repro.nn.init import calculate_fan
+
+        assert calculate_fan((8, 4)) == (4, 8)
+        assert calculate_fan((16, 3, 5)) == (15, 80)
+
+    def test_fan_rejects_1d(self):
+        from repro.nn.init import calculate_fan
+
+        with pytest.raises(ValueError):
+            calculate_fan((4,))
+
+    def test_xavier_bounds(self, rng):
+        from repro.nn.init import xavier_uniform
+
+        values = xavier_uniform((100, 100), rng)
+        bound = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(values) <= bound + 1e-12)
+
+    def test_kaiming_normal_scale(self, rng):
+        from repro.nn.init import kaiming_normal
+
+        values = kaiming_normal((2000, 100), rng)
+        assert values.std() == pytest.approx(np.sqrt(2.0 / 100), rel=0.1)

@@ -1,0 +1,218 @@
+"""Tests of the NinaPro DB6 surrogate dataset, windowing and loaders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    NinaProDB6,
+    NinaProDB6Config,
+    normalize_windows,
+    sliding_window_count,
+    sliding_windows,
+    stratified_subsample,
+    subject_split,
+)
+from repro.data.ninapro import GESTURE_NAMES
+
+
+class TestWindowing:
+    def test_window_count_formula(self):
+        assert sliding_window_count(300, 300, 30) == 1
+        assert sliding_window_count(330, 300, 30) == 2
+        assert sliding_window_count(299, 300, 30) == 0
+
+    @given(
+        samples=st.integers(1, 2000),
+        window=st.integers(1, 400),
+        slide=st.integers(1, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_window_count_matches_generated_windows(self, samples, window, slide):
+        signal = np.zeros((2, samples))
+        windows = sliding_windows(signal, window, slide)
+        assert windows.shape[0] == sliding_window_count(samples, window, slide)
+        if windows.shape[0]:
+            assert windows.shape[1:] == (2, window)
+
+    def test_window_contents(self):
+        signal = np.arange(20.0).reshape(1, 20)
+        windows = sliding_windows(signal, window=5, slide=5)
+        np.testing.assert_allclose(windows[1, 0], [5, 6, 7, 8, 9])
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.zeros(10), 5, 5)  # 1-D input
+        with pytest.raises(ValueError):
+            sliding_window_count(10, 0, 1)
+
+
+class TestArrayDatasetAndLoader:
+    def _dataset(self, n=20, classes=4):
+        rng = np.random.default_rng(0)
+        return ArrayDataset(rng.standard_normal((n, 3, 8)), np.arange(n) % classes)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2, 2)), np.zeros(4))
+
+    def test_class_counts_and_subset(self):
+        dataset = self._dataset()
+        assert dataset.num_classes == 4
+        np.testing.assert_allclose(dataset.class_counts(), [5, 5, 5, 5])
+        subset = dataset.subset(np.arange(10))
+        assert len(subset) == 10
+
+    def test_concatenate(self):
+        combined = ArrayDataset.concatenate([self._dataset(4), self._dataset(6)])
+        assert len(combined) == 10
+
+    def test_loader_covers_every_sample_once(self):
+        dataset = self._dataset(23)
+        loader = DataLoader(dataset, batch_size=5, shuffle=True, rng=np.random.default_rng(0))
+        seen = sum(len(labels) for _, labels in loader)
+        assert seen == 23
+        assert len(loader) == 5
+
+    def test_loader_drop_last(self):
+        loader = DataLoader(self._dataset(23), batch_size=5, drop_last=True)
+        assert len(loader) == 4
+        assert sum(len(labels) for _, labels in loader) == 20
+
+    def test_loader_shuffle_changes_order_but_not_content(self):
+        dataset = self._dataset(16)
+        loader = DataLoader(dataset, batch_size=16, shuffle=True, rng=np.random.default_rng(1))
+        (windows, labels), = list(loader)
+        assert sorted(labels.tolist()) == sorted(dataset.labels.tolist())
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(self._dataset(), batch_size=0)
+
+    def test_normalize_windows_preserves_channel_ratio(self):
+        rng = np.random.default_rng(0)
+        windows = rng.standard_normal((4, 3, 50))
+        windows[:, 0] *= 5.0  # channel 0 much stronger
+        normalised = normalize_windows(windows)
+        ratio = normalised[:, 0].std(axis=-1) / normalised[:, 1].std(axis=-1)
+        assert np.all(ratio > 2.0)
+        # Per-window global statistics are standardised.
+        np.testing.assert_allclose(normalised.mean(axis=(1, 2)), 0.0, atol=1e-9)
+        np.testing.assert_allclose(normalised.std(axis=(1, 2)), 1.0, atol=1e-6)
+
+    def test_stratified_subsample_preserves_classes(self):
+        dataset = self._dataset(40, classes=4)
+        subsampled = stratified_subsample(dataset, 0.5, np.random.default_rng(0))
+        assert set(np.unique(subsampled.labels)) == {0, 1, 2, 3}
+        assert len(subsampled) == 20
+
+
+class TestNinaProConfig:
+    def test_paper_geometry(self):
+        config = NinaProDB6Config.paper()
+        assert config.num_subjects == 10
+        assert config.num_sessions == 10
+        assert config.num_gestures == 8 == len(GESTURE_NAMES)
+        assert config.window_samples == 300  # 150 ms at 2 kHz
+        assert config.slide_samples == 30  # 15 ms at 2 kHz
+        assert config.training_sessions == (1, 2, 3, 4, 5)
+        assert config.testing_sessions == (6, 7, 8, 9, 10)
+
+    def test_small_and_tiny_presets_validate(self):
+        for config in (NinaProDB6Config.small(), NinaProDB6Config.tiny()):
+            config.validate()
+            assert config.num_gestures == 8
+            assert len(config.testing_sessions) >= 1
+
+    def test_invalid_settings_rejected(self):
+        with pytest.raises(ValueError):
+            NinaProDB6Config(num_subjects=0).validate()
+        with pytest.raises(ValueError):
+            NinaProDB6Config(training_sessions=(0,)).validate()
+        with pytest.raises(ValueError):
+            NinaProDB6Config(training_sessions=tuple(range(1, 11))).validate()
+        with pytest.raises(ValueError):
+            NinaProDB6Config(representation="wavelet").validate()
+
+
+class TestNinaProDataset:
+    def test_session_dataset_geometry(self, tiny_dataset):
+        config = tiny_dataset.config
+        dataset = tiny_dataset.session_dataset(1, 1)
+        assert dataset.windows.shape[1:] == (config.num_channels, config.window_samples)
+        assert set(np.unique(dataset.labels)) == set(range(config.num_gestures))
+        assert set(dataset.metadata) == {"subject", "session", "repetition"}
+
+    def test_caching_returns_same_object(self, tiny_dataset):
+        assert tiny_dataset.session_dataset(1, 1) is tiny_dataset.session_dataset(1, 1)
+
+    def test_training_and_testing_sessions_disjoint(self, tiny_dataset):
+        train = tiny_dataset.training_dataset(1)
+        test = tiny_dataset.testing_dataset(1)
+        assert set(np.unique(train.metadata["session"])).isdisjoint(
+            np.unique(test.metadata["session"])
+        )
+
+    def test_pretraining_excludes_target_subject(self, tiny_dataset):
+        pretrain = tiny_dataset.pretraining_dataset(1)
+        assert 1 not in np.unique(pretrain.metadata["subject"])
+        assert len(pretrain) > 0
+
+    def test_invalid_subject_or_session_raises(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.session_dataset(99, 1)
+        with pytest.raises(ValueError):
+            tiny_dataset.session_dataset(1, 99)
+
+    def test_reproducible_across_instances(self):
+        config = NinaProDB6Config.tiny()
+        a = NinaProDB6(config).session_dataset(1, 1)
+        b = NinaProDB6(NinaProDB6Config.tiny()).session_dataset(1, 1)
+        np.testing.assert_allclose(a.windows, b.windows)
+
+    def test_different_seeds_differ(self):
+        a = NinaProDB6(NinaProDB6Config.tiny(seed=1)).session_dataset(1, 1)
+        b = NinaProDB6(NinaProDB6Config.tiny(seed=2)).session_dataset(1, 1)
+        assert not np.allclose(a.windows, b.windows)
+
+    def test_input_shape_and_describe(self, tiny_dataset):
+        channels, samples = tiny_dataset.input_shape
+        assert channels == 14
+        assert "subjects" in tiny_dataset.describe()
+
+    def test_subject_split_bundle(self, tiny_dataset, tiny_split):
+        assert tiny_split.subject == 1
+        assert len(tiny_split.train) > 0 and len(tiny_split.test) > 0
+        assert set(tiny_split.test_per_session) == set(tiny_dataset.config.testing_sessions)
+
+    def test_later_sessions_are_harder(self):
+        """A simple RMS nearest-centroid classifier degrades on sessions
+        farther from training — the structural property behind Fig. 2."""
+        dataset = NinaProDB6(NinaProDB6Config.small(num_subjects=1))
+        train = dataset.training_dataset(1)
+        features = np.sqrt((train.windows**2).mean(axis=-1))
+        centroids = np.stack(
+            [features[train.labels == c].mean(axis=0) for c in range(8)]
+        )
+
+        def session_accuracy(session):
+            data = dataset.session_dataset(1, session)
+            feats = np.sqrt((data.windows**2).mean(axis=-1))
+            predictions = np.argmin(
+                ((feats[:, None, :] - centroids[None]) ** 2).sum(-1), axis=1
+            )
+            return (predictions == data.labels).mean()
+
+        early = np.mean([session_accuracy(6), session_accuracy(7)])
+        late = np.mean([session_accuracy(9), session_accuracy(10)])
+        assert early > late
+
+    def test_envelope_representation_is_nonnegative_before_normalization(self):
+        config = NinaProDB6Config.tiny()
+        config.normalize = False
+        dataset = NinaProDB6(config)
+        windows = dataset.session_dataset(1, 1).windows
+        assert np.all(windows >= 0.0)

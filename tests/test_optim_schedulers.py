@@ -1,0 +1,180 @@
+"""Tests of the optimisers, schedulers and checkpoint serialisation."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.optim import SGD, Adam, AdamW, clip_grad_norm
+from repro.nn.schedulers import ConstantSchedule, CosineDecay, LinearWarmup, StepDecay
+
+
+def quadratic_loss(parameter):
+    """Simple convex objective with minimum at 3."""
+    return ((parameter - 3.0) ** 2).sum()
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("optimizer_class,lr", [(SGD, 0.1), (Adam, 0.2), (AdamW, 0.2)])
+    def test_converges_on_quadratic(self, optimizer_class, lr):
+        parameter = nn.Parameter(np.array([0.0, 10.0]))
+        optimizer = optimizer_class([parameter], lr=lr)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = quadratic_loss(parameter)
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, [3.0, 3.0], atol=0.05)
+
+    def test_sgd_momentum_accelerates(self):
+        def run(momentum):
+            parameter = nn.Parameter(np.array([10.0]))
+            optimizer = SGD([parameter], lr=0.02, momentum=momentum)
+            for _ in range(30):
+                optimizer.zero_grad()
+                quadratic_loss(parameter).backward()
+                optimizer.step()
+            return abs(parameter.data[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        parameter = nn.Parameter(np.array([5.0]))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        (parameter * 0.0).sum().backward()  # zero task gradient
+        optimizer.step()
+        assert abs(parameter.data[0]) < 5.0
+
+    def test_adamw_decoupled_decay(self):
+        parameter = nn.Parameter(np.array([5.0]))
+        optimizer = AdamW([parameter], lr=0.0001, weight_decay=0.1)
+        optimizer.zero_grad()
+        (parameter * 0.0).sum().backward()
+        optimizer.step()
+        # Decoupled decay shrinks regardless of the (zero) gradient moments.
+        assert parameter.data[0] < 5.0
+        assert optimizer.weight_decay == 0.1  # restored after the step
+
+    def test_skips_parameters_without_grad(self):
+        used = nn.Parameter(np.array([1.0]))
+        unused = nn.Parameter(np.array([2.0]))
+        optimizer = Adam([used, unused], lr=0.1)
+        optimizer.zero_grad()
+        quadratic_loss(used).backward()
+        optimizer.step()
+        assert unused.data[0] == 2.0
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            Adam([nn.Parameter(np.zeros(1))], lr=0.0)
+
+    def test_adam_state_dict_roundtrip(self):
+        parameter = nn.Parameter(np.zeros(2))
+        optimizer = Adam([parameter], lr=1e-3)
+        optimizer.zero_grad()
+        quadratic_loss(parameter).backward()
+        optimizer.step()
+        state = optimizer.state_dict()
+        other = Adam([parameter], lr=5e-2)
+        other.load_state_dict(state)
+        assert other.lr == pytest.approx(1e-3)
+        assert other._step_count == 1
+
+
+class TestGradientClipping:
+    def test_clip_reduces_norm(self):
+        parameter = nn.Parameter(np.zeros(4))
+        parameter.grad = np.full(4, 10.0)
+        norm_before = clip_grad_norm([parameter], max_norm=1.0)
+        assert norm_before == pytest.approx(20.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0)
+
+    def test_no_clip_below_threshold(self):
+        parameter = nn.Parameter(np.zeros(2))
+        parameter.grad = np.array([0.1, 0.1])
+        clip_grad_norm([parameter], max_norm=10.0)
+        np.testing.assert_allclose(parameter.grad, [0.1, 0.1])
+
+    def test_handles_missing_gradients(self):
+        assert clip_grad_norm([nn.Parameter(np.zeros(2))], 1.0) == 0.0
+
+
+class TestSchedulers:
+    def _optimizer(self):
+        return SGD([nn.Parameter(np.zeros(1))], lr=1.0)
+
+    def test_linear_warmup_profile(self):
+        optimizer = self._optimizer()
+        scheduler = LinearWarmup(optimizer, start_lr=0.0, peak_lr=1.0, warmup_steps=10)
+        rates = [scheduler.step() for _ in range(15)]
+        assert rates[0] == pytest.approx(0.0)
+        assert rates[5] == pytest.approx(0.5)
+        assert all(rate == pytest.approx(1.0) for rate in rates[10:])
+        assert optimizer.lr == pytest.approx(1.0)
+
+    def test_paper_warmup_endpoints(self):
+        """The paper warms up from 1e-7 to 5e-4."""
+        scheduler = LinearWarmup(self._optimizer())
+        assert scheduler.learning_rate(0) == pytest.approx(1e-7)
+        assert scheduler.learning_rate(100) == pytest.approx(5e-4)
+
+    def test_step_decay_paper_schedule(self):
+        """Fine-tuning: 1e-4 reduced by 10x after 10 epochs."""
+        scheduler = StepDecay(self._optimizer(), base_lr=1e-4, step_size=10, gamma=0.1)
+        assert scheduler.learning_rate(0) == pytest.approx(1e-4)
+        assert scheduler.learning_rate(9) == pytest.approx(1e-4)
+        assert scheduler.learning_rate(10) == pytest.approx(1e-5)
+        assert scheduler.learning_rate(20) == pytest.approx(1e-6)
+
+    def test_cosine_decay_monotone(self):
+        scheduler = CosineDecay(self._optimizer(), base_lr=1.0, total_steps=50, min_lr=0.1)
+        rates = [scheduler.learning_rate(step) for step in range(51)]
+        assert rates[0] == pytest.approx(1.0)
+        assert rates[-1] == pytest.approx(0.1)
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_constant_schedule(self):
+        scheduler = ConstantSchedule(self._optimizer(), lr=0.123)
+        assert scheduler.step() == pytest.approx(0.123)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LinearWarmup(self._optimizer(), warmup_steps=0)
+        with pytest.raises(ValueError):
+            StepDecay(self._optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            CosineDecay(self._optimizer(), base_lr=1.0, total_steps=0)
+
+    def test_history_recorded(self):
+        scheduler = StepDecay(self._optimizer(), base_lr=1.0, step_size=2, gamma=0.5)
+        for _ in range(4):
+            scheduler.step()
+        assert scheduler.history == [1.0, 1.0, 0.5, 0.5]
+
+
+class TestSerialization:
+    def test_checkpoint_roundtrip(self, tmp_path, rng):
+        from repro.nn.serialization import load_checkpoint, save_checkpoint
+
+        source = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        path = str(tmp_path / "model.npz")
+        save_checkpoint(source, path)
+        target = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        load_checkpoint(target, path)
+        x = Tensor(rng.standard_normal((3, 4)))
+        np.testing.assert_allclose(source(x).data, target(x).data, atol=1e-12)
+
+    def test_state_dict_file_contents(self, tmp_path):
+        from repro.nn.serialization import load_state_dict, save_state_dict
+
+        state = {"a": np.arange(3.0), "b": np.ones((2, 2))}
+        path = str(tmp_path / "state.npz")
+        save_state_dict(state, path)
+        loaded = load_state_dict(path)
+        assert set(loaded) == {"a", "b"}
+        np.testing.assert_allclose(loaded["a"], state["a"])

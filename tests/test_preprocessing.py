@@ -1,0 +1,156 @@
+"""Tests for the sEMG preprocessing chain (filters, envelopes, scaling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    PreprocessingConfig,
+    Preprocessor,
+    bandpass_filter,
+    envelope,
+    moving_average,
+    mu_law_compress,
+    notch_filter,
+    rectify,
+    standardize,
+)
+
+SAMPLING_HZ = 2000.0
+
+
+def tone(frequency_hz: float, duration_s: float = 1.0, sampling_hz: float = SAMPLING_HZ):
+    time = np.arange(int(duration_s * sampling_hz)) / sampling_hz
+    return np.sin(2 * np.pi * frequency_hz * time)
+
+
+def band_power(signal: np.ndarray, frequency_hz: float, sampling_hz: float = SAMPLING_HZ) -> float:
+    spectrum = np.abs(np.fft.rfft(signal)) ** 2
+    frequencies = np.fft.rfftfreq(signal.shape[-1], d=1.0 / sampling_hz)
+    band = (frequencies > frequency_hz - 5) & (frequencies < frequency_hz + 5)
+    return float(spectrum[..., band].sum())
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestBandpass:
+    def test_passband_preserved_stopband_removed(self):
+        mixed = tone(5.0) + tone(100.0) + tone(900.0)
+        filtered = bandpass_filter(mixed[None, :], SAMPLING_HZ, 20.0, 500.0)[0]
+        assert band_power(filtered, 100.0) > 0.5 * band_power(mixed, 100.0)
+        assert band_power(filtered, 5.0) < 0.05 * band_power(mixed, 5.0)
+        assert band_power(filtered, 900.0) < 0.05 * band_power(mixed, 900.0)
+
+    def test_high_edge_clipped_below_nyquist(self):
+        # A 500 Hz upper edge at 500 Hz sampling would be above Nyquist; the
+        # helper clips it instead of failing, as the synthetic presets need.
+        signal = np.random.default_rng(0).normal(size=(2, 400))
+        filtered = bandpass_filter(signal, sampling_rate_hz=500.0, low_hz=20.0, high_hz=500.0)
+        assert filtered.shape == signal.shape
+        assert np.all(np.isfinite(filtered))
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(ValueError):
+            bandpass_filter(np.zeros((1, 100)), SAMPLING_HZ, 300.0, 100.0)
+        with pytest.raises(ValueError):
+            bandpass_filter(np.zeros((1, 100)), -1.0)
+
+    def test_batch_and_single_shapes(self, rng):
+        batch = rng.normal(size=(3, 4, 600))
+        assert bandpass_filter(batch, SAMPLING_HZ).shape == batch.shape
+
+
+class TestNotch:
+    def test_removes_power_line_tone(self):
+        mixed = tone(50.0) + tone(120.0)
+        filtered = notch_filter(mixed[None, :], SAMPLING_HZ, notch_hz=50.0)[0]
+        assert band_power(filtered, 50.0) < 0.05 * band_power(mixed, 50.0)
+        assert band_power(filtered, 120.0) > 0.5 * band_power(mixed, 120.0)
+
+    def test_invalid_notch_rejected(self):
+        with pytest.raises(ValueError):
+            notch_filter(np.zeros((1, 100)), SAMPLING_HZ, notch_hz=2000.0)
+
+
+class TestEnvelopeAndScaling:
+    def test_rectify_is_absolute_value(self, rng):
+        signal = rng.normal(size=(2, 50))
+        np.testing.assert_allclose(rectify(signal), np.abs(signal))
+
+    def test_moving_average_of_constant(self):
+        constant = np.full((1, 40), 2.0)
+        np.testing.assert_allclose(moving_average(constant, 5), 2.0)
+
+    def test_moving_average_preserves_shape(self, rng):
+        signal = rng.normal(size=(3, 2, 77))
+        assert moving_average(signal, 9).shape == signal.shape
+
+    def test_moving_average_rejects_bad_window(self, rng):
+        with pytest.raises(ValueError):
+            moving_average(rng.normal(size=(1, 10)), 0)
+
+    def test_envelope_is_nonnegative_and_smoother(self, rng):
+        signal = rng.normal(size=(1, 2000))
+        env = envelope(signal, SAMPLING_HZ, smoothing_ms=20.0)
+        assert np.all(env >= 0)
+        assert np.abs(np.diff(env)).mean() < np.abs(np.diff(np.abs(signal))).mean()
+
+    def test_mu_law_bounded(self, rng):
+        compressed = mu_law_compress(rng.normal(scale=100.0, size=(4, 100)))
+        assert np.all(np.abs(compressed) <= 1.0 + 1e-12)
+
+    def test_mu_law_zero_signal(self):
+        np.testing.assert_allclose(mu_law_compress(np.zeros((2, 10))), 0.0)
+
+    def test_mu_law_rejects_bad_mu(self, rng):
+        with pytest.raises(ValueError):
+            mu_law_compress(rng.normal(size=(1, 10)), mu=0.0)
+
+    def test_standardize(self, rng):
+        signal = rng.normal(loc=3.0, scale=5.0, size=(4, 500))
+        scaled = standardize(signal)
+        assert abs(scaled.mean()) < 1e-9
+        assert scaled.std() == pytest.approx(1.0, abs=1e-6)
+
+    @given(st.floats(min_value=0.5, max_value=50.0))
+    @settings(max_examples=20, deadline=None)
+    def test_standardize_scale_invariance_property(self, gain):
+        rng = np.random.default_rng(3)
+        signal = rng.normal(size=(2, 200))
+        np.testing.assert_allclose(standardize(signal * gain), standardize(signal), atol=1e-8)
+
+
+class TestPreprocessor:
+    def test_full_chain_shapes_and_finiteness(self, rng):
+        config = PreprocessingConfig(sampling_rate_hz=SAMPLING_HZ, apply_envelope=True)
+        processed = Preprocessor(config)(rng.normal(size=(14, 4000)))
+        assert processed.shape == (14, 4000)
+        assert np.all(np.isfinite(processed))
+
+    def test_stages_can_be_disabled(self, rng):
+        config = PreprocessingConfig(
+            sampling_rate_hz=SAMPLING_HZ,
+            apply_bandpass=False,
+            apply_notch=False,
+            apply_envelope=False,
+            apply_standardize=False,
+        )
+        signal = rng.normal(size=(2, 100))
+        np.testing.assert_allclose(Preprocessor(config)(signal), signal)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            Preprocessor(PreprocessingConfig(sampling_rate_hz=0.0))
+        with pytest.raises(ValueError):
+            Preprocessor(PreprocessingConfig(notch_hz=5000.0))
+
+    def test_envelope_output_nonnegative(self, rng):
+        config = PreprocessingConfig(
+            sampling_rate_hz=SAMPLING_HZ, apply_envelope=True, apply_standardize=False
+        )
+        processed = Preprocessor(config)(rng.normal(size=(3, 2000)))
+        assert np.all(processed >= 0)

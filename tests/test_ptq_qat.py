@@ -1,0 +1,122 @@
+"""Tests of post-training quantisation and quantisation-aware training."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.models import bioformer_bio1, bioformer_bio2
+from repro.nn import Tensor
+from repro.quant import (
+    QATConfig,
+    QuantizationSpec,
+    QuantizedModel,
+    evaluate_quantized,
+    quantization_aware_finetune,
+    quantize_parameters,
+)
+from repro.training import ProtocolConfig, evaluate, train_subject_specific
+
+
+@pytest.fixture(scope="module")
+def trained_model(tiny_split, tiny_dataset):
+    """A Bioformer trained briefly on the tiny dataset."""
+    model = bioformer_bio1(
+        patch_size=10, window_samples=tiny_dataset.config.window_samples, seed=0
+    )
+    train_subject_specific(model, tiny_split, ProtocolConfig.tiny(), num_classes=8)
+    return model
+
+
+# The module-scoped fixtures need session-scoped dependencies re-exported.
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    from repro.data import NinaProDB6, NinaProDB6Config
+
+    return NinaProDB6(NinaProDB6Config.tiny())
+
+
+@pytest.fixture(scope="module")
+def tiny_split(tiny_dataset):
+    from repro.data import subject_split
+
+    return subject_split(tiny_dataset, 1)
+
+
+class TestQuantizeParameters:
+    def test_every_parameter_quantized(self):
+        model = bioformer_bio2(patch_size=10, window_samples=100)
+        quantized = quantize_parameters(model)
+        assert set(quantized) == {name for name, _ in model.named_parameters()}
+        assert all(q.values.dtype == np.int8 for q in quantized.values())
+
+    def test_reconstruction_error_small(self):
+        model = bioformer_bio1(patch_size=10, window_samples=100)
+        quantized = quantize_parameters(model)
+        for name, parameter in model.named_parameters():
+            original = parameter.data
+            reconstruction = quantized[name].dequantize()
+            scale = float(np.max(np.abs(original))) + 1e-12
+            assert np.max(np.abs(original - reconstruction)) <= scale / 127 + 1e-9
+
+
+class TestQuantizedModel:
+    def test_memory_matches_paper_table1(self):
+        """Bio1 (filter 10) int8 snapshot is ~94 kB; Bio2 (filter 10) ~78 kB."""
+        bio1 = QuantizedModel(bioformer_bio1(patch_size=10))
+        bio2 = QuantizedModel(bioformer_bio2(patch_size=10))
+        assert abs(bio1.memory_kilobytes - 94.2) < 4.0
+        assert abs(bio2.memory_kilobytes - 78.3) < 4.0
+
+    def test_compression_ratio_is_four(self):
+        snapshot = QuantizedModel(bioformer_bio1(patch_size=10, window_samples=100))
+        assert snapshot.report().compression_ratio == pytest.approx(4.0)
+
+    def test_quantized_accuracy_close_to_float(self, trained_model, tiny_split):
+        float_accuracy = evaluate(trained_model, tiny_split.test, num_classes=8).accuracy
+        snapshot = QuantizedModel(trained_model)
+        snapshot.calibrate(tiny_split.train)
+        quantized_accuracy = snapshot.evaluate(tiny_split.test, num_classes=8).accuracy
+        # Int8 costs at most a few points of accuracy (paper: ~1%).
+        assert quantized_accuracy >= float_accuracy - 0.10
+
+    def test_float_weights_restored_after_evaluation(self, trained_model, tiny_split):
+        before = {name: p.data.copy() for name, p in trained_model.named_parameters()}
+        snapshot = QuantizedModel(trained_model)
+        snapshot.evaluate(tiny_split.test, num_classes=8)
+        for name, parameter in trained_model.named_parameters():
+            np.testing.assert_allclose(parameter.data, before[name])
+
+    def test_evaluate_quantized_helper(self, trained_model, tiny_split):
+        report = evaluate_quantized(
+            trained_model, tiny_split.test, calibration=tiny_split.train, num_classes=8
+        )
+        assert 0.0 <= report.accuracy <= 1.0
+
+    def test_lower_weight_bits_degrade_more(self, trained_model, tiny_split):
+        int8 = evaluate_quantized(trained_model, tiny_split.test, num_classes=8, weight_bits=8)
+        int3 = evaluate_quantized(trained_model, tiny_split.test, num_classes=8, weight_bits=3)
+        assert int3.accuracy <= int8.accuracy + 0.05
+
+
+class TestQAT:
+    def test_qat_runs_and_keeps_weights_float(self, trained_model, tiny_split):
+        before_dtype = next(iter(trained_model.parameters())).data.dtype
+        result = quantization_aware_finetune(trained_model, tiny_split.train, QATConfig.tiny())
+        assert result.epochs == 1
+        assert 0.0 <= result.final_train_accuracy <= 1.0
+        assert next(iter(trained_model.parameters())).data.dtype == before_dtype
+
+    def test_qat_does_not_destroy_accuracy(self, tiny_split, tiny_dataset):
+        model = bioformer_bio2(
+            patch_size=10, window_samples=tiny_dataset.config.window_samples, seed=1
+        )
+        train_subject_specific(model, tiny_split, ProtocolConfig.tiny(), num_classes=8)
+        float_accuracy = evaluate(model, tiny_split.test, num_classes=8).accuracy
+        quantization_aware_finetune(model, tiny_split.train, QATConfig.tiny())
+        quantized = evaluate_quantized(
+            model, tiny_split.test, calibration=tiny_split.train, num_classes=8
+        ).accuracy
+        assert quantized >= float_accuracy - 0.15
+
+    def test_qat_config_presets(self):
+        assert QATConfig.paper().epochs >= QATConfig.small().epochs >= QATConfig.tiny().epochs

@@ -1,0 +1,155 @@
+"""Tests of the synthetic sEMG signal model (repro.data.semg)."""
+
+import numpy as np
+import pytest
+
+from repro.data.semg import (
+    GestureLibrary,
+    SemgConfig,
+    SemgSynthesizer,
+    SessionConditions,
+    SubjectModel,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SemgConfig(sampling_rate_hz=500.0, emg_band_hz=(20.0, 200.0))
+
+
+@pytest.fixture(scope="module")
+def synthesizer(config):
+    return SemgSynthesizer(config, np.random.default_rng(0))
+
+
+class TestSemgConfig:
+    def test_validate_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SemgConfig(num_channels=0).validate()
+        with pytest.raises(ValueError):
+            SemgConfig(num_gestures=1).validate()
+        with pytest.raises(ValueError):
+            SemgConfig(sampling_rate_hz=-1).validate()
+        with pytest.raises(ValueError):
+            SemgConfig(emg_band_hz=(100.0, 50.0)).validate()
+
+    def test_band_clamped_to_nyquist(self):
+        config = SemgConfig(sampling_rate_hz=200.0)
+        config.validate()
+        assert config.emg_band_hz[1] < 100.0
+
+    def test_defaults_match_ninapro_db6_geometry(self):
+        config = SemgConfig()
+        assert config.num_channels == 14
+        assert config.num_gestures == 8
+        assert config.sampling_rate_hz == 2000.0
+
+
+class TestGestureLibrary:
+    def test_rest_has_low_activation(self, config):
+        library = GestureLibrary(config, np.random.default_rng(1))
+        assert library.activation(0).max() < 0.1
+
+    def test_grasps_share_common_structure(self, config):
+        """All grasps derive from a common base, so pairwise distances are
+        bounded — gestures are confusable, as in real sEMG."""
+        library = GestureLibrary(config, np.random.default_rng(2))
+        grasps = library.prototypes[1:]
+        base_norm = np.linalg.norm(grasps.mean(axis=0))
+        for i in range(len(grasps)):
+            for j in range(i + 1, len(grasps)):
+                distance = np.linalg.norm(grasps[i] - grasps[j])
+                assert distance < 2.5 * base_norm
+
+    def test_grasps_are_distinct(self, config):
+        library = GestureLibrary(config, np.random.default_rng(3))
+        grasps = library.prototypes[1:]
+        for i in range(len(grasps)):
+            for j in range(i + 1, len(grasps)):
+                assert np.linalg.norm(grasps[i] - grasps[j]) > 1e-3
+
+    def test_more_gestures_than_muscles_supported(self):
+        config = SemgConfig(num_muscles=4, num_gestures=10, sampling_rate_hz=500.0)
+        config.validate()
+        library = GestureLibrary(config, np.random.default_rng(4))
+        assert library.prototypes.shape == (10, 4)
+
+    def test_activations_nonnegative(self, config):
+        library = GestureLibrary(config, np.random.default_rng(5))
+        assert np.all(library.prototypes >= 0)
+
+
+class TestSubjectAndSession:
+    def test_subjects_differ_but_share_template(self, synthesizer):
+        subject_a = synthesizer.subject(1, np.random.default_rng(10))
+        subject_b = synthesizer.subject(2, np.random.default_rng(11))
+        assert not np.allclose(subject_a.mixing, subject_b.mixing)
+        # Both stay within a bounded distance of the shared template.
+        for subject in (subject_a, subject_b):
+            relative = np.linalg.norm(subject.mixing - synthesizer.template_mixing)
+            relative /= np.linalg.norm(synthesizer.template_mixing)
+            assert relative < 1.0
+
+    def test_signal_quality_in_range(self, synthesizer):
+        for seed in range(5):
+            subject = synthesizer.subject(seed, np.random.default_rng(seed))
+            assert 0.55 <= subject.signal_quality <= 1.0
+
+    def test_session_drift_grows_with_distance(self, synthesizer):
+        rng = np.random.default_rng(3)
+        near = synthesizer.session(6, reference_session=5, rng=np.random.default_rng(3))
+        far = synthesizer.session(10, reference_session=5, rng=np.random.default_rng(3))
+        assert np.abs(far.mixing_perturbation).mean() > np.abs(near.mixing_perturbation).mean()
+        assert far.extra_noise > near.extra_noise
+
+    def test_session_apply_changes_mixing(self, synthesizer):
+        subject = synthesizer.subject(1, np.random.default_rng(0))
+        session = synthesizer.session(8, 5, np.random.default_rng(1))
+        mixed = session.apply(subject.mixing)
+        assert mixed.shape == subject.mixing.shape
+        assert not np.allclose(mixed, subject.mixing)
+
+
+class TestSynthesis:
+    def test_repetition_shape_and_dtype(self, synthesizer):
+        subject = synthesizer.subject(1, np.random.default_rng(0))
+        session = synthesizer.session(1, 5, np.random.default_rng(0))
+        signal = synthesizer.synthesize_repetition(subject, session, 3, 0.5, np.random.default_rng(7))
+        assert signal.shape == (synthesizer.config.num_channels, 250)
+        assert signal.dtype == np.float32
+        assert np.all(np.isfinite(signal))
+
+    def test_grasp_has_higher_energy_than_rest(self, synthesizer):
+        subject = synthesizer.subject(1, np.random.default_rng(0))
+        session = synthesizer.session(1, 5, np.random.default_rng(0))
+        rest = synthesizer.synthesize_repetition(subject, session, 0, 0.5, np.random.default_rng(1))
+        grasp = synthesizer.synthesize_repetition(subject, session, 3, 0.5, np.random.default_rng(1))
+        assert (grasp**2).mean() > 2 * (rest**2).mean()
+
+    def test_deterministic_given_rng(self, synthesizer):
+        subject = synthesizer.subject(1, np.random.default_rng(0))
+        session = synthesizer.session(1, 5, np.random.default_rng(0))
+        a = synthesizer.synthesize_repetition(subject, session, 2, 0.4, np.random.default_rng(42))
+        b = synthesizer.synthesize_repetition(subject, session, 2, 0.4, np.random.default_rng(42))
+        np.testing.assert_allclose(a, b)
+
+    def test_different_gestures_have_different_channel_profiles(self, synthesizer):
+        subject = synthesizer.subject(1, np.random.default_rng(0))
+        session = synthesizer.session(1, 5, np.random.default_rng(0))
+        profiles = []
+        for gesture in (1, 2):
+            signal = synthesizer.synthesize_repetition(
+                subject, session, gesture, 1.0, np.random.default_rng(5)
+            )
+            rms = np.sqrt((signal.astype(np.float64)**2).mean(axis=1))
+            profiles.append(rms / rms.sum())
+        assert np.abs(profiles[0] - profiles[1]).sum() > 0.01
+
+    def test_interference_pattern_band_limited(self, synthesizer):
+        carrier = synthesizer._interference_pattern(1000, np.random.default_rng(0))
+        spectrum = np.abs(np.fft.rfft(carrier))
+        frequencies = np.fft.rfftfreq(1000, 1.0 / synthesizer.config.sampling_rate_hz)
+        low, high = synthesizer.config.emg_band_hz
+        in_band = spectrum[(frequencies >= low) & (frequencies <= high)].sum()
+        out_band = spectrum[(frequencies < low) | (frequencies > high)].sum()
+        assert in_band > 10 * out_band

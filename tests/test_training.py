@@ -1,0 +1,194 @@
+"""Tests of metrics, the training loop and the paper's protocols."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import ArrayDataset
+from repro.nn import Tensor
+from repro.training import (
+    ClassificationReport,
+    ProtocolConfig,
+    Trainer,
+    TrainingConfig,
+    accuracy,
+    confusion_matrix,
+    evaluate,
+    macro_f1,
+    per_class_accuracy,
+    pretrain_inter_subject,
+    run_two_step_protocol,
+    train_subject_specific,
+)
+from repro.training.protocol import finetune_subject
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+        assert accuracy(np.array([]), np.array([])) == 0.0
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(4))
+
+    def test_confusion_matrix_contents(self):
+        matrix = confusion_matrix(np.array([0, 1, 1, 2]), np.array([0, 1, 2, 2]), 3)
+        assert matrix[0, 0] == 1 and matrix[1, 1] == 1 and matrix[2, 1] == 1 and matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_per_class_accuracy_handles_empty_class(self):
+        matrix = np.array([[2, 0, 0], [0, 3, 1], [0, 0, 0]])
+        recall = per_class_accuracy(matrix)
+        np.testing.assert_allclose(recall, [1.0, 0.75, 0.0])
+
+    def test_macro_f1_perfect_and_zero(self):
+        perfect = np.eye(3, dtype=int) * 5
+        assert macro_f1(perfect) == pytest.approx(1.0)
+        assert macro_f1(np.zeros((3, 3), dtype=int)) == 0.0
+
+    def test_classification_report_summary(self):
+        report = ClassificationReport(accuracy=0.8, confusion=np.eye(2, dtype=int), loss=0.5)
+        summary = report.summary()
+        assert summary["accuracy"] == 0.8 and "loss" in summary and "macro_f1" in summary
+
+
+def _linearly_separable_dataset(n=120, channels=4, samples=16, classes=3, seed=0):
+    """Windows whose per-channel energy encodes the class — easily learnable."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, classes, size=n)
+    windows = 0.1 * rng.standard_normal((n, channels, samples))
+    for index, label in enumerate(labels):
+        windows[index, label % channels] += 1.0 + label
+    return ArrayDataset(windows, labels)
+
+
+class TestTrainer:
+    def test_loss_decreases_and_accuracy_improves(self, rng):
+        dataset = _linearly_separable_dataset()
+        model = nn.Sequential(
+            nn.Flatten(),
+            nn.Linear(4 * 16, 32, rng=rng),
+            nn.ReLU(),
+            nn.Linear(32, 3, rng=rng),
+        )
+        optimizer = nn.Adam(model.parameters(), lr=1e-2)
+        trainer = Trainer(model, optimizer, config=TrainingConfig(epochs=8, batch_size=16), rng=rng)
+        history = trainer.fit(dataset)
+        assert history.losses[-1] < history.losses[0]
+        assert history.final_train_accuracy > 0.8
+        assert len(history.records) == 8
+
+    def test_validation_accuracy_recorded(self, rng):
+        dataset = _linearly_separable_dataset(60)
+        model = nn.Sequential(nn.Flatten(), nn.Linear(64, 3, rng=rng))
+        trainer = Trainer(
+            model,
+            nn.Adam(model.parameters(), lr=1e-2),
+            config=TrainingConfig(epochs=2, batch_size=16),
+            rng=rng,
+        )
+        history = trainer.fit(dataset, validation_dataset=dataset, num_classes=3)
+        assert all(record.validation_accuracy is not None for record in history.records)
+
+    def test_scheduler_drives_learning_rate(self, rng):
+        dataset = _linearly_separable_dataset(40)
+        model = nn.Sequential(nn.Flatten(), nn.Linear(64, 3, rng=rng))
+        optimizer = nn.Adam(model.parameters(), lr=1.0)
+        scheduler = nn.StepDecay(optimizer, base_lr=1e-2, step_size=1, gamma=0.5)
+        trainer = Trainer(model, optimizer, scheduler, TrainingConfig(epochs=3, batch_size=20), rng=rng)
+        history = trainer.fit(dataset)
+        np.testing.assert_allclose(history.learning_rates, [1e-2, 5e-3, 2.5e-3])
+
+    def test_evaluate_report(self, rng):
+        dataset = _linearly_separable_dataset(30)
+        model = nn.Sequential(nn.Flatten(), nn.Linear(64, 3, rng=rng))
+        report = evaluate(model, dataset, num_classes=3, loss_function=nn.CrossEntropyLoss())
+        assert 0.0 <= report.accuracy <= 1.0
+        assert report.confusion.shape == (3, 3)
+        assert report.confusion.sum() == 30
+        assert report.loss is not None
+
+
+class TestProtocolConfig:
+    def test_paper_defaults(self):
+        config = ProtocolConfig.paper()
+        assert config.pretrain_epochs == 100
+        assert config.finetune_epochs == 20
+        assert config.pretrain_peak_lr == pytest.approx(5e-4)
+        assert config.pretrain_warmup_start_lr == pytest.approx(1e-7)
+        assert config.finetune_lr_decay_epoch == 10
+        assert config.finetune_lr_decay_factor == pytest.approx(0.1)
+
+    def test_reduced_presets_keep_structure(self):
+        for config in (ProtocolConfig.small(), ProtocolConfig.tiny()):
+            assert config.pretrain_epochs >= 1
+            assert config.finetune_epochs >= 1
+            assert config.standard_epochs >= 1
+
+
+class TestProtocols:
+    def test_standard_training_produces_result(self, tiny_dataset, tiny_split):
+        from repro.models import bioformer_bio1
+
+        config = tiny_dataset.config
+        model = bioformer_bio1(
+            patch_size=10, window_samples=config.window_samples, num_channels=14
+        )
+        outcome = train_subject_specific(model, tiny_split, ProtocolConfig.tiny(), num_classes=8)
+        assert outcome.protocol == "standard"
+        assert 0.0 <= outcome.test_accuracy <= 1.0
+        assert set(outcome.per_session_accuracy) == set(config.testing_sessions)
+        assert outcome.train_history is not None
+
+    def test_two_step_protocol_runs_and_reuses_pretrained_state(self, tiny_dataset, tiny_split):
+        from repro.models import bioformer_bio2
+
+        config = tiny_dataset.config
+        protocol = ProtocolConfig.tiny()
+        model = bioformer_bio2(
+            patch_size=10, window_samples=config.window_samples, num_channels=14
+        )
+        outcome = run_two_step_protocol(model, tiny_split, protocol, num_classes=8)
+        assert outcome.protocol == "pretrain+finetune"
+        assert outcome.pretrain_history is not None
+
+        # Reusing a pre-trained state skips the pre-training phase entirely.
+        reuse_model = bioformer_bio2(
+            patch_size=10, window_samples=config.window_samples, num_channels=14
+        )
+        reused = run_two_step_protocol(
+            reuse_model,
+            tiny_split,
+            protocol,
+            num_classes=8,
+            pretrained_state=model.state_dict(),
+        )
+        assert reused.pretrain_history is None
+
+    def test_pretraining_requires_data(self, tiny_split):
+        from repro.models import bioformer_bio1
+
+        empty = ArrayDataset(np.empty((0, 14, 40)), np.empty(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            pretrain_inter_subject(
+                bioformer_bio1(patch_size=10, window_samples=40), empty, ProtocolConfig.tiny(), 8
+            )
+
+    def test_finetune_uses_step_decay(self, tiny_dataset, tiny_split):
+        from repro.models import bioformer_bio1
+
+        model = bioformer_bio1(patch_size=10, window_samples=tiny_dataset.config.window_samples)
+        protocol = ProtocolConfig(
+            finetune_epochs=2, finetune_lr=1e-3, finetune_lr_decay_epoch=1, batch_size=32
+        )
+        history = finetune_subject(model, tiny_split.train, protocol, 8)
+        assert history.learning_rates[0] == pytest.approx(1e-3)
+        assert history.learning_rates[1] == pytest.approx(1e-4)
+
+    def test_session_series_sorted(self, tiny_dataset, tiny_split):
+        from repro.models import bioformer_bio1
+
+        model = bioformer_bio1(patch_size=10, window_samples=tiny_dataset.config.window_samples)
+        outcome = train_subject_specific(model, tiny_split, ProtocolConfig.tiny(), num_classes=8)
+        assert list(outcome.session_series()) == sorted(outcome.per_session_accuracy)
