@@ -1,0 +1,130 @@
+"""Serving throughput of ``InferenceServer`` under dynamic micro-batching.
+
+Measures windows/second through the full serving path (request submission,
+micro-batch formation, backend execution, response distribution) at batch
+caps 1 / 16 / 64 for both backends.  Batch cap 1 is the no-batching
+baseline: every request pays the full per-forward Python dispatch cost,
+which is exactly what the batcher amortises.
+
+The float run doubles as the acceptance gate for the serving PR: the
+batched (cap >= 16) rate must be at least 3x the unbatched per-window rate.
+The int8 engine is dominated by integer einsum/I-BERT arithmetic that
+scales nearly linearly with the batch, so its batching gain is smaller; it
+is asserted to be non-regressive only.
+
+The geometry is the deployment-unit scale (4 channels x 60 samples) used
+throughout the deploy test-suite — the regime every MCU-class model of the
+paper lives in, where per-call overhead, not BLAS time, bounds the host.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.serve import BackendCache, InferenceServer
+
+from conftest import report
+
+GEOMETRY = dict(num_channels=4, window_samples=60, seed=11)
+NUM_WINDOWS = 96
+BATCH_CAPS = (1, 16, 64)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return BackendCache()
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("bio2", patch_size=10, **GEOMETRY).eval()
+
+
+@pytest.fixture(scope="module")
+def windows():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(NUM_WINDOWS, GEOMETRY["num_channels"], GEOMETRY["window_samples"]))
+
+
+def _throughput(model, backend, max_batch, windows, cache, repeats=2, **kwargs):
+    """Best-of-``repeats`` windows/sec through a fresh server."""
+    best = 0.0
+    mean_batch = 0.0
+    for _ in range(repeats):
+        with InferenceServer(
+            model, backend, cache=cache, max_batch_size=max_batch, max_wait_s=0.005, **kwargs
+        ) as server:
+            server.infer(windows[:8])  # warm-up (allocator, caches)
+            start = time.perf_counter()
+            logits = server.infer(windows)
+            elapsed = time.perf_counter() - start
+            assert logits.shape == (windows.shape[0], 8)
+            stats = server.stats.batcher
+            assert stats.max_batch <= max_batch
+            best = max(best, windows.shape[0] / elapsed)
+            mean_batch = stats.mean_batch
+    return best, mean_batch
+
+
+def _render(rows):
+    lines = [f"{'backend':>8} {'cap':>5} {'mean batch':>11} {'windows/s':>11} {'speedup':>9}"]
+    for backend, cap, mean_batch, throughput, speedup in rows:
+        lines.append(
+            f"{backend:>8} {cap:>5d} {mean_batch:>11.1f} {throughput:>11.1f} {speedup:>8.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_float_backend_batching_speedup(model, windows, cache):
+    """Dynamic batching must pay for itself: >= 3x over unbatched serving."""
+    results = {
+        cap: _throughput(model, "float", cap, windows, cache) for cap in BATCH_CAPS
+    }
+    base = results[1][0]
+    rows = [
+        ("float", cap, results[cap][1], results[cap][0], results[cap][0] / base)
+        for cap in BATCH_CAPS
+    ]
+    report("Serving throughput — float backend (bio2, 4ch x 60smp)", _render(rows))
+    batched_best = max(results[cap][0] for cap in BATCH_CAPS if cap >= 16)
+    assert batched_best >= 3.0 * base, (
+        f"batched serving reached only {batched_best / base:.2f}x the "
+        f"unbatched rate ({batched_best:.0f} vs {base:.0f} windows/s)"
+    )
+
+
+def test_int8_backend_batching_not_regressive(model, windows, cache):
+    """Integer engine serving: batching must never be slower than cap 1."""
+    calibration = np.random.default_rng(1).normal(
+        size=(16, GEOMETRY["num_channels"], GEOMETRY["window_samples"])
+    )
+    results = {
+        cap: _throughput(
+            model, "int8", cap, windows, cache, calibration=calibration
+        )
+        for cap in BATCH_CAPS
+    }
+    base = results[1][0]
+    rows = [
+        ("int8", cap, results[cap][1], results[cap][0], results[cap][0] / base)
+        for cap in BATCH_CAPS
+    ]
+    report("Serving throughput — int8 backend (bio2, 4ch x 60smp)", _render(rows))
+    batched_best = max(results[cap][0] for cap in BATCH_CAPS if cap >= 16)
+    # Generous floor: integer arithmetic scales ~linearly with batch, so the
+    # win is bounded; the invariant is that micro-batching never costs.
+    assert batched_best >= 0.9 * base
+
+
+def test_backend_cache_amortizes_construction(model, windows, cache):
+    """Re-serving a cached architecture must skip model/graph construction."""
+    start = time.perf_counter()
+    with InferenceServer(model, "float", cache=cache, max_batch_size=16) as server:
+        server.infer(windows[:4])
+    elapsed = time.perf_counter() - start
+    assert cache.hits >= 1
+    # Construction was cached by the earlier benchmarks; opening a server
+    # and classifying 4 windows should be near-instant.
+    assert elapsed < 5.0

@@ -18,6 +18,8 @@ for Ultra-Low Power sEMG-based Gesture Recognition"* (Burrello et al., DATE
   lowering, integer-only execution, L1 tiling, memory planning, C codegen);
 * :mod:`repro.hw` — GAP8 complexity/latency/energy/battery modelling;
 * :mod:`repro.search` — architecture search over the Bioformer design space;
+* :mod:`repro.serve` — streaming inference service (dynamic micro-batching,
+  float/int8 backends, majority-vote smoothing);
 * :mod:`repro.experiments` — one driver per paper figure/table.
 
 See README.md for a quickstart and DESIGN.md for the substitution notes.
@@ -34,6 +36,7 @@ from . import (
     nn,
     quant,
     search,
+    serve,
     training,
     utils,
 )
@@ -50,6 +53,7 @@ __all__ = [
     "hw",
     "deploy",
     "search",
+    "serve",
     "analysis",
     "experiments",
     "utils",

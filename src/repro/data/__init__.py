@@ -40,7 +40,7 @@ from .semg import (
     SubjectModel,
 )
 from .splits import SubjectSplit, stratified_subsample, subject_split
-from .windowing import segment_recording, sliding_window_count, sliding_windows
+from .windowing import StreamWindower, segment_recording, sliding_window_count, sliding_windows
 
 __all__ = [
     "ArrayDataset",
@@ -60,6 +60,7 @@ __all__ = [
     "segment_recording",
     "sliding_windows",
     "sliding_window_count",
+    "StreamWindower",
     "PreprocessingConfig",
     "Preprocessor",
     "bandpass_filter",

@@ -13,7 +13,12 @@ from typing import Tuple
 
 import numpy as np
 
-__all__ = ["sliding_window_count", "sliding_windows", "segment_recording"]
+__all__ = [
+    "sliding_window_count",
+    "sliding_windows",
+    "segment_recording",
+    "StreamWindower",
+]
 
 
 def sliding_window_count(num_samples: int, window: int, slide: int) -> int:
@@ -52,3 +57,92 @@ def segment_recording(
     windows = sliding_windows(signal, window, slide)
     labels = np.full(windows.shape[0], label, dtype=np.int64)
     return windows, labels
+
+
+class StreamWindower:
+    """Incremental sliding windows over a chunked ``(channels, samples)`` stream.
+
+    A live acquisition delivers samples in arbitrarily sized chunks; this
+    class buffers them and emits every complete window exactly once, with
+    the same geometry as :func:`sliding_windows` applied to the concatenated
+    signal.  The invariant (enforced by the test-suite) is::
+
+        sum of windows emitted by push()  ==  sliding_window_count(total, window, slide)
+
+    and the *content* of the emitted windows matches the offline segmentation
+    bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        slide: int,
+        num_channels: int,
+        dtype=np.float64,
+    ) -> None:
+        if window <= 0 or slide <= 0:
+            raise ValueError("window and slide must be positive")
+        if num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        self.window = int(window)
+        self.slide = int(slide)
+        self.num_channels = int(num_channels)
+        self.dtype = np.dtype(dtype)
+        self._buffer = np.empty((self.num_channels, 0), dtype=self.dtype)
+        #: Absolute stream position of ``_buffer[:, 0]``.
+        self._base = 0
+        self.samples_seen = 0
+        self.windows_emitted = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamWindower(window={self.window}, slide={self.slide}, "
+            f"channels={self.num_channels}, seen={self.samples_seen})"
+        )
+
+    @property
+    def pending_samples(self) -> int:
+        """Buffered samples not yet part of an emitted window's start."""
+        return self._buffer.shape[1]
+
+    def push(self, samples: np.ndarray) -> np.ndarray:
+        """Ingest a ``(channels, n)`` chunk; return the newly complete windows.
+
+        Returns a ``(new_windows, channels, window)`` array (possibly empty).
+        """
+        samples = np.asarray(samples, dtype=self.dtype)
+        if samples.ndim == 1:
+            samples = samples[None, :]
+        if samples.ndim != 2 or samples.shape[0] != self.num_channels:
+            raise ValueError(
+                f"expected a ({self.num_channels}, n) chunk, got shape {samples.shape}"
+            )
+        self.samples_seen += samples.shape[1]
+        self._buffer = np.concatenate([self._buffer, samples], axis=1)
+        # The next unemitted window starts at stream position
+        # windows_emitted * slide; with slide > window that can lie beyond
+        # the buffered samples, hence the absolute bookkeeping.
+        next_start = self.windows_emitted * self.slide
+        offset = next_start - self._base
+        if offset < self._buffer.shape[1]:
+            windows = sliding_windows(self._buffer[:, offset:], self.window, self.slide)
+        else:
+            windows = np.empty((0, self.num_channels, self.window), dtype=self.dtype)
+        count = windows.shape[0]
+        if count:
+            self.windows_emitted += count
+            next_start += count * self.slide
+        # Drop every sample before the next window start to keep the buffer
+        # bounded (the start itself may still be in the future).
+        drop = min(self._buffer.shape[1], next_start - self._base)
+        if drop > 0:
+            self._buffer = np.ascontiguousarray(self._buffer[:, drop:])
+            self._base += drop
+        return windows
+
+    def reset(self) -> None:
+        """Forget all buffered samples (e.g. between recordings)."""
+        self._buffer = np.empty((self.num_channels, 0), dtype=self.dtype)
+        self._base = 0
+        self.samples_seen = 0
+        self.windows_emitted = 0

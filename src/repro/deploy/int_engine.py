@@ -162,11 +162,9 @@ class IntegerGraphExecutor:
         if op == "avgpool1d":
             kernel = int(node.attrs["kernel_size"])
             stride = int(node.attrs["stride"])
-            batch, channels, length = q_x.shape
-            out_length = (length - kernel) // stride + 1
-            accumulator = np.zeros((batch, channels, out_length), dtype=np.int64)
-            for tap in range(kernel):
-                accumulator += q_x[:, :, tap : tap + stride * out_length : stride]
+            # One strided gather over all taps: (B, C, out_length, kernel).
+            windows = np.lib.stride_tricks.sliding_window_view(q_x, kernel, axis=-1)
+            accumulator = windows[:, :, ::stride, :].astype(np.int64).sum(axis=-1)
             return self._requant_to(accumulator, in_scale / kernel, out_name)
 
         if op == "mean_tokens":
@@ -231,20 +229,22 @@ def _int_conv1d(
     padding: int,
     dilation: int,
 ) -> np.ndarray:
-    """Integer 1-D convolution with int64 accumulation."""
+    """Integer 1-D convolution with int64 accumulation.
+
+    Vectorised over the kernel dimension: a single strided view gathers
+    every ``(output position, tap)`` pair and one integer ``einsum``
+    contracts channels and taps at once.  Integer arithmetic is exact, so
+    the result is identical to the per-tap accumulation loop it replaced
+    (the test-suite pins this equality).
+    """
     q_x = q_x.astype(np.int64)
     q_weight = q_weight.astype(np.int64)
-    batch, in_channels, length = q_x.shape
-    out_channels, _, kernel = q_weight.shape
+    kernel = q_weight.shape[-1]
     if padding > 0:
         q_x = np.pad(q_x, ((0, 0), (0, 0), (padding, padding)))
-        length = q_x.shape[-1]
     effective = dilation * (kernel - 1) + 1
-    out_length = (length - effective) // stride + 1
-    accumulator = np.zeros((batch, out_channels, out_length), dtype=np.int64)
-    for tap in range(kernel):
-        start = tap * dilation
-        stop = start + stride * out_length
-        window = q_x[:, :, start:stop:stride]
-        accumulator += np.einsum("bcl,oc->bol", window, q_weight[:, :, tap])
-    return accumulator
+    # (B, C, out_length, kernel): output positions stride the signal, taps
+    # sample each window every `dilation` samples.
+    windows = np.lib.stride_tricks.sliding_window_view(q_x, effective, axis=-1)
+    windows = windows[:, :, ::stride, ::dilation]
+    return np.einsum("bclk,ock->bol", windows, q_weight)

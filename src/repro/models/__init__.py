@@ -10,6 +10,7 @@ from .registry import (
     bioformer_filter_sweep,
     bioformer_grid,
     build_model,
+    model_cache_key,
 )
 from .temponet import TEMPONet, TEMPONetConfig, temponet
 
@@ -22,6 +23,7 @@ __all__ = [
     "TEMPONetConfig",
     "temponet",
     "build_model",
+    "model_cache_key",
     "available_models",
     "bioformer_grid",
     "bioformer_filter_sweep",

@@ -18,6 +18,7 @@ __all__ = [
     "MODEL_BUILDERS",
     "build_model",
     "available_models",
+    "model_cache_key",
     "bioformer_grid",
     "bioformer_filter_sweep",
     "PAPER_FILTER_DIMENSIONS",
@@ -60,6 +61,23 @@ def build_model(name: str, **kwargs) -> Module:
     if key == "temponet":
         kwargs.pop("patch_size", None)
     return MODEL_BUILDERS[key](**kwargs)
+
+
+def model_cache_key(name: str, **kwargs) -> Tuple:
+    """Canonical hashable identity of a registry model build.
+
+    Two calls that would construct identical models (same architecture name
+    after case-folding, same effective keyword arguments) return equal keys;
+    ``patch_size`` is dropped for TEMPONet exactly as :func:`build_model`
+    drops it.  The serving layer keys its executor/model caches on this.
+    """
+    key = name.lower()
+    if key not in MODEL_BUILDERS:
+        raise KeyError(f"unknown model '{name}'; available: {available_models()}")
+    effective = dict(kwargs)
+    if key == "temponet":
+        effective.pop("patch_size", None)
+    return (key,) + tuple(sorted(effective.items()))
 
 
 def bioformer_grid(

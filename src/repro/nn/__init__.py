@@ -45,11 +45,12 @@ from .schedulers import (
 )
 from .serialization import load_checkpoint, load_state_dict, save_checkpoint, save_state_dict
 from .summary import ModelSummary, ModuleRow, summarize
-from .tensor import Tensor, no_grad
+from .tensor import Tensor, inference_mode, no_grad
 
 __all__ = [
     "Tensor",
     "no_grad",
+    "inference_mode",
     "functional",
     "init",
     "Module",

@@ -24,26 +24,32 @@ the module is usable as a small general-purpose autograd engine.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast"]
+__all__ = ["Tensor", "no_grad", "inference_mode", "is_grad_enabled", "unbroadcast"]
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
-# Global switch mirroring ``torch.no_grad()``: while disabled, no graph is
+# Switch mirroring ``torch.no_grad()``: while disabled, no graph is
 # recorded, which makes pure inference both faster and allocation-free.
-_GRAD_ENABLED = True
+# Thread-local so a serving worker running under ``inference_mode`` cannot
+# disable gradients for a training loop on another thread.
+_GRAD_STATE = threading.local()
 
 
 def is_grad_enabled() -> bool:
     """Return ``True`` when operations record the autograd graph."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 class no_grad:
     """Context manager (and decorator) that disables gradient recording.
+
+    The switch is per-thread (as in PyTorch): entering ``no_grad`` on one
+    thread leaves autograd untouched everywhere else.
 
     Example
     -------
@@ -52,14 +58,12 @@ class no_grad:
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_STATE.enabled = self._previous
 
     def __call__(self, function):
         def wrapper(*args, **kwargs):
@@ -69,6 +73,16 @@ class no_grad:
         wrapper.__name__ = getattr(function, "__name__", "wrapped")
         wrapper.__doc__ = function.__doc__
         return wrapper
+
+
+class inference_mode(no_grad):
+    """Serving-path variant of :class:`no_grad` (mirrors ``torch.inference_mode``).
+
+    Numerically identical to :class:`no_grad` — it exists so inference code
+    (notably :mod:`repro.serve`) states its intent explicitly and stays a
+    single hook if the fast path ever diverges from plain gradient
+    disabling (e.g. buffer reuse or dtype narrowing).
+    """
 
 
 def unbroadcast(gradient: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -133,7 +147,7 @@ class Tensor:
     ) -> None:
         self.data: np.ndarray = _as_array(data)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
         self.name = name
         self._backward = None
         self._prev: Tuple["Tensor", ...] = ()
@@ -204,7 +218,7 @@ class Tensor:
 
     def _make_child(self, data: np.ndarray, parents: Tuple["Tensor", ...], backward) -> "Tensor":
         """Create the output tensor of an op and register its backward."""
-        requires = _GRAD_ENABLED and any(parent.requires_grad for parent in parents)
+        requires = is_grad_enabled() and any(parent.requires_grad for parent in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._prev = tuple(parent for parent in parents if parent.requires_grad)

@@ -1,0 +1,44 @@
+"""``repro.serve`` — streaming inference service with dynamic micro-batching.
+
+The deployment toolchain (:mod:`repro.deploy`) produces models that run on
+an MCU; this package serves the same models as an online service, which is
+the other half of the paper's real-time scenario and the seam every later
+scaling PR (sharding, async workers, remote backends) plugs into:
+
+* :mod:`repro.serve.backends` — the :class:`Backend` protocol plus the
+  float (``repro.nn`` forward) and int8 (integer graph executor)
+  implementations;
+* :mod:`repro.serve.batcher` — :class:`DynamicBatcher`, aggregating
+  concurrent single-window requests into bounded micro-batches;
+* :mod:`repro.serve.stream` — :class:`StreamSession`, raw-signal streaming
+  with overlapping windows and majority-vote label smoothing;
+* :mod:`repro.serve.server` — the :class:`InferenceServer` facade and the
+  process-wide backend cache.
+"""
+
+from .backends import (
+    Backend,
+    FloatBackend,
+    Int8Backend,
+    build_float_backend,
+    build_int8_backend,
+)
+from .batcher import BatcherStats, DynamicBatcher
+from .server import BackendCache, InferenceServer, get_default_cache
+from .stream import MajorityVoter, StreamDecision, StreamSession
+
+__all__ = [
+    "Backend",
+    "FloatBackend",
+    "Int8Backend",
+    "build_float_backend",
+    "build_int8_backend",
+    "BatcherStats",
+    "DynamicBatcher",
+    "BackendCache",
+    "InferenceServer",
+    "get_default_cache",
+    "MajorityVoter",
+    "StreamDecision",
+    "StreamSession",
+]

@@ -1,0 +1,219 @@
+"""Dynamic micro-batching of concurrent inference requests.
+
+Serving traffic arrives one window at a time, but every backend in this
+repository (the NumPy ``repro.nn`` forward pass as well as the integer
+graph executor) amortises its per-call Python overhead over the batch axis.
+The :class:`DynamicBatcher` sits between the two: callers submit single
+windows and receive futures; a background worker drains the request queue
+into micro-batches of at most ``max_batch_size`` windows, flushing a
+partially filled batch once the oldest request has waited ``max_wait_s``.
+
+Invariants (enforced by the property tests in ``tests/test_serve_batcher.py``):
+
+* **no request is dropped** — every submitted future completes, even when
+  the batcher is closed with requests still queued;
+* **no request is duplicated** — each future resolves exactly once;
+* **order is preserved** — rows of a micro-batch follow submission order,
+  and each caller receives exactly the output row of its own input;
+* **batches never exceed** ``max_batch_size``.
+
+The same queue/executor split appears in large-scale serving stacks (e.g.
+the neuron pipeline executors); this is the single-process version that
+later multi-worker PRs can swap out.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["BatcherStats", "DynamicBatcher"]
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class BatcherStats:
+    """Running counters of the micro-batches an executor actually formed.
+
+    Plain counters (not a per-batch history) so a long-lived serving
+    process accumulates O(1) state regardless of traffic volume.
+    """
+
+    requests: int = 0
+    batches: int = 0
+    max_batch: int = 0
+
+    @property
+    def mean_batch(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+
+class _Request:
+    __slots__ = ("payload", "future")
+
+    def __init__(self, payload: np.ndarray, future: Future) -> None:
+        self.payload = payload
+        self.future = future
+
+
+class DynamicBatcher:
+    """Aggregate single-window requests into micro-batches for ``run_batch``.
+
+    Parameters
+    ----------
+    run_batch:
+        Callable mapping a stacked ``(batch, ...)`` array to a ``(batch, ...)``
+        array of per-request results (row ``i`` answers request ``i``).
+    max_batch_size:
+        Hard upper bound on the micro-batch size.
+    max_wait_s:
+        Flush timeout: a partially filled batch is executed once its oldest
+        request has waited this long.
+    """
+
+    def __init__(
+        self,
+        run_batch: Callable[[np.ndarray], np.ndarray],
+        max_batch_size: int = 16,
+        max_wait_s: float = 0.002,
+        name: str = "",
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        self.run_batch = run_batch
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+        self.name = name or "batcher"
+        self.stats = BatcherStats()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name=f"{self.name}-worker", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------ #
+    # Submission API
+    # ------------------------------------------------------------------ #
+    def submit(self, window: np.ndarray) -> Future:
+        """Enqueue one window; the future resolves to its result row."""
+        future: Future = Future()
+        request = _Request(np.asarray(window), future)
+        # Enqueue under the lock so a concurrent close() either sees this
+        # request before its shutdown sentinel (and drains it) or rejects
+        # the submission — a request can never slip in after the drain.
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"{self.name} is closed")
+            self._queue.put(request)
+        return future
+
+    def submit_many(self, windows: Sequence[np.ndarray]) -> List[Future]:
+        """Enqueue several windows in order (one future per window)."""
+        return [self.submit(window) for window in windows]
+
+    def map(self, windows: Sequence[np.ndarray], timeout: Optional[float] = None) -> np.ndarray:
+        """Submit ``windows`` and block for the stacked results (in order)."""
+        futures = self.submit_many(windows)
+        return np.stack([future.result(timeout=timeout) for future in futures])
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting requests, drain the queue, and join the worker."""
+        with self._lock:
+            already = self._closed
+            if not already:
+                self._closed = True
+                self._queue.put(_SHUTDOWN)
+        self._worker.join(timeout=timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "DynamicBatcher":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Worker
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        draining = False
+        while not draining:
+            first = self._queue.get()
+            if first is _SHUTDOWN:
+                break
+            batch = [first]
+            deadline = time.monotonic() + self.max_wait_s
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.monotonic()
+                try:
+                    if remaining > 0:
+                        item = self._queue.get(timeout=remaining)
+                    else:
+                        item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is _SHUTDOWN:
+                    draining = True
+                    break
+                batch.append(item)
+            self._execute(batch)
+        # Drain everything still queued at close() time so no future is
+        # left pending; requests are still batched (submission order holds
+        # because this worker is the queue's only consumer).
+        while True:
+            batch = []
+            while len(batch) < self.max_batch_size:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is _SHUTDOWN:
+                    continue
+                batch.append(item)
+            if not batch:
+                break
+            self._execute(batch)
+
+    def _execute(self, batch: List[_Request]) -> None:
+        # Claim every future before running: a future that was cancelled
+        # while queued is dropped here, and a claimed (RUNNING) future can
+        # no longer be cancelled, so set_result/set_exception below cannot
+        # race a caller's cancel() into InvalidStateError.
+        live = [request for request in batch if request.future.set_running_or_notify_cancel()]
+        if not live:
+            return
+        try:
+            stacked = np.stack([request.payload for request in live])
+            results = np.asarray(self.run_batch(stacked))
+            if results.shape[0] != len(live):
+                raise RuntimeError(
+                    f"run_batch returned {results.shape[0]} rows for a "
+                    f"batch of {len(live)}"
+                )
+        except BaseException as error:  # noqa: BLE001 — forwarded to callers
+            for request in live:
+                request.future.set_exception(error)
+            return
+        with self._lock:
+            self.stats.requests += len(live)
+            self.stats.batches += 1
+            self.stats.max_batch = max(self.stats.max_batch, len(live))
+        for row, request in enumerate(live):
+            request.future.set_result(results[row])

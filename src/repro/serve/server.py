@@ -1,0 +1,282 @@
+"""The serving facade: one API over both inference engines.
+
+:class:`InferenceServer` owns a :class:`~repro.serve.backends.Backend` and a
+:class:`~repro.serve.batcher.DynamicBatcher`, and exposes the three call
+styles a gesture-recognition service needs:
+
+* ``submit(window)`` — asynchronous single-window requests (the batcher
+  aggregates concurrent callers into micro-batches);
+* ``infer(windows)`` / ``predict(windows)`` — synchronous batch inference
+  routed through the same micro-batching path;
+* ``open_stream(...)`` — a :class:`~repro.serve.stream.StreamSession` bound
+  to this server for raw-signal streaming.
+
+Backends are constructed through a process-wide cache keyed by
+``(architecture, patch_size, backend)`` (plus the full registry kwargs), so
+many concurrent sessions of the same deployed architecture share one
+model/executor — the serving analogue of the deploy toolchain's one-binary-
+many-inferences model.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..models.registry import build_model, model_cache_key
+from ..nn.module import Module
+from .backends import Backend, build_float_backend, build_int8_backend
+from .batcher import BatcherStats, DynamicBatcher
+from .stream import StreamSession
+
+__all__ = ["BackendCache", "InferenceServer", "get_default_cache"]
+
+_BACKENDS = ("float", "int8")
+
+
+class BackendCache:
+    """LRU cache of constructed serving backends.
+
+    Keys are ``(model_cache_key(architecture, **kwargs), backend)`` tuples:
+    two servers asking for the same architecture / patch size / backend get
+    the *same* backend object (same weights, same quantisation constants).
+    """
+
+    def __init__(self, max_entries: int = 16) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Tuple, Backend]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(self, key: Tuple, factory: Callable[[], Backend]) -> Backend:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+        # Build outside the lock (lowering can take a while); worst case two
+        # threads build the same backend and the first insert wins.
+        backend = factory()
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self.hits += 1
+                return existing
+            self.misses += 1
+            self._entries[key] = backend
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            return backend
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+_DEFAULT_CACHE = BackendCache()
+
+
+def get_default_cache() -> BackendCache:
+    """The process-wide backend cache used when none is passed explicitly."""
+    return _DEFAULT_CACHE
+
+
+@dataclass
+class ServerStats:
+    """Operational counters of one :class:`InferenceServer`."""
+
+    backend: str
+    architecture: str
+    batcher: BatcherStats
+
+    @property
+    def requests(self) -> int:
+        return self.batcher.requests
+
+    @property
+    def batches(self) -> int:
+        return self.batcher.batches
+
+
+class InferenceServer:
+    """Serve sEMG gesture classification over a float or int8 backend.
+
+    Parameters
+    ----------
+    model:
+        Either a registry name (``"bio1"``, ``"bio2"``, ``"temponet"``) or an
+        already constructed/trained :class:`~repro.nn.module.Module`.
+    backend:
+        ``"float"`` (direct ``repro.nn`` forward) or ``"int8"`` (lowered
+        integer graph, the GAP8 numerics).
+    patch_size:
+        Bioformer front-end filter dimension; forwarded to the registry and
+        part of the cache key.  Ignored for TEMPONet.
+    model_kwargs:
+        Extra registry arguments (``num_channels``, ``window_samples``,
+        ``num_classes``, ``seed``, ...).
+    calibration:
+        Representative windows for int8 lowering (int8 backend only).
+        Calibration is *not* part of the cache key; pass a dedicated
+        ``cache`` when serving differently calibrated variants side by side.
+    max_batch_size / max_wait_s:
+        Micro-batching knobs (see :class:`~repro.serve.batcher.DynamicBatcher`).
+    cache:
+        Backend cache to use; defaults to the process-wide cache.  Models
+        passed as live ``Module`` objects are cached per object identity.
+    """
+
+    def __init__(
+        self,
+        model: Union[str, Module],
+        backend: str = "float",
+        *,
+        patch_size: Optional[int] = None,
+        model_kwargs: Optional[Dict] = None,
+        calibration: Optional[np.ndarray] = None,
+        max_batch_size: int = 16,
+        max_wait_s: float = 0.002,
+        cache: Optional[BackendCache] = None,
+        lower_kwargs: Optional[Dict] = None,
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got '{backend}'")
+        self.backend_name = backend
+        self.cache = cache if cache is not None else get_default_cache()
+        model_kwargs = dict(model_kwargs or {})
+        if patch_size is not None:
+            model_kwargs["patch_size"] = patch_size
+        lower_kwargs = dict(lower_kwargs or {})
+
+        if isinstance(model, str):
+            self.architecture = model.lower()
+            key = (model_cache_key(model, **model_kwargs), backend)
+
+            def factory() -> Backend:
+                built = build_model(self.architecture, **model_kwargs).eval()
+                if backend == "float":
+                    return build_float_backend(built)
+                return build_int8_backend(built, calibration, **lower_kwargs)
+
+        else:
+            self.architecture = getattr(model, "name", type(model).__name__)
+            # Key on the module object itself (identity hash): holding it in
+            # the cache key pins the model alive, so a recycled id() can
+            # never alias a dead model's cached backend.
+            key = (("module", model), backend)
+
+            def factory() -> Backend:
+                if backend == "float":
+                    return build_float_backend(model)
+                return build_int8_backend(model, calibration, **lower_kwargs)
+
+        self.cache_key = key
+        self.backend: Backend = self.cache.get_or_build(key, factory)
+        self.batcher = DynamicBatcher(
+            self.backend.run,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            name=f"{self.architecture}-{backend}",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Inference API
+    # ------------------------------------------------------------------ #
+    @property
+    def input_shape(self) -> Tuple[int, int]:
+        return self.backend.input_shape
+
+    @property
+    def num_classes(self) -> int:
+        return self.backend.num_classes
+
+    def submit(self, window: np.ndarray) -> Future:
+        """Asynchronously classify one ``(channels, samples)`` window.
+
+        Returns a future resolving to the ``(num_classes,)`` logits row.
+        """
+        window = np.asarray(window, dtype=np.float64)
+        if window.shape != self.input_shape:
+            raise ValueError(
+                f"expected a window of shape {self.input_shape}, got {window.shape}"
+            )
+        return self.batcher.submit(window)
+
+    def infer(self, windows: Sequence[np.ndarray], timeout: Optional[float] = 60.0) -> np.ndarray:
+        """Classify windows through the micro-batching path; returns logits.
+
+        ``windows`` is ``(batch, channels, samples)`` (or a sequence of
+        single windows); the result preserves input order.
+        """
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim == 2:
+            windows = windows[None, ...]
+        futures = [self.submit(window) for window in windows]
+        return np.stack([future.result(timeout=timeout) for future in futures])
+
+    def predict(self, windows: Sequence[np.ndarray], timeout: Optional[float] = 60.0) -> np.ndarray:
+        """Class indices for ``windows`` (micro-batched, order preserving)."""
+        return np.argmax(self.infer(windows, timeout=timeout), axis=-1)
+
+    def open_stream(
+        self,
+        slide: int,
+        *,
+        smoothing: int = 5,
+        preprocessor: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> StreamSession:
+        """A :class:`StreamSession` classifying through this server."""
+        channels, samples = self.input_shape
+        return StreamSession(
+            self.predict,
+            window=samples,
+            slide=slide,
+            num_channels=channels,
+            preprocessor=preprocessor,
+            smoothing=smoothing,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> ServerStats:
+        return ServerStats(
+            backend=self.backend_name,
+            architecture=self.architecture,
+            batcher=self.batcher.stats,
+        )
+
+    def close(self) -> None:
+        """Drain pending requests and stop the batching worker."""
+        self.batcher.close()
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"InferenceServer(architecture='{self.architecture}', "
+            f"backend='{self.backend_name}', input={self.input_shape})"
+        )

@@ -1,0 +1,167 @@
+"""Streaming gesture recognition: raw samples in, smoothed decisions out.
+
+This is the paper's end-to-end deployment loop: a continuous 14-channel
+sEMG signal is segmented into overlapping windows (150 ms window, 15 ms
+slide at 2 kHz), each window is classified, and the per-window labels are
+smoothed with majority voting over the most recent decisions so a single
+misclassified window cannot flip the controlled prosthesis.
+
+:class:`StreamSession` composes the pieces that already exist elsewhere in
+the repository — :class:`repro.data.windowing.StreamWindower` for the
+incremental segmentation (bit-identical to the offline training-time
+segmentation), optionally a :class:`repro.data.preprocessing.Preprocessor`,
+and any per-batch classifier (typically an
+:class:`~repro.serve.server.InferenceServer`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.windowing import StreamWindower
+
+__all__ = ["MajorityVoter", "StreamDecision", "StreamSession"]
+
+
+class MajorityVoter:
+    """Majority vote over the ``history`` most recent window labels.
+
+    Ties are broken toward the smallest label index, which makes the vote
+    deterministic and biases ties toward the paper's rest class (class 0).
+    A ``history`` of 1 disables smoothing.
+    """
+
+    def __init__(self, history: int = 5) -> None:
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self.history = int(history)
+        self._recent: Deque[int] = deque(maxlen=self.history)
+
+    def vote(self, label: int) -> int:
+        """Record ``label`` and return the smoothed decision."""
+        self._recent.append(int(label))
+        counts = Counter(self._recent)
+        best = max(counts.values())
+        return min(candidate for candidate, count in counts.items() if count == best)
+
+    def reset(self) -> None:
+        self._recent.clear()
+
+    @property
+    def recent(self) -> List[int]:
+        return list(self._recent)
+
+
+@dataclass(frozen=True)
+class StreamDecision:
+    """One classified window of the stream."""
+
+    window_index: int
+    label: int
+    smoothed_label: int
+
+
+class StreamSession:
+    """Feed raw sEMG chunks through windowing → classification → smoothing.
+
+    Parameters
+    ----------
+    classify:
+        Callable mapping ``(batch, channels, window)`` arrays to per-window
+        integer labels (``(batch,)``).  ``InferenceServer.predict`` and
+        ``IntegerGraphExecutor.predict`` both fit.
+    window, slide:
+        Sliding-window geometry in samples (the paper: 300 / 30 at 2 kHz).
+    num_channels:
+        Electrode count of the stream (the paper: 14).
+    preprocessor:
+        Optional per-window conditioning applied to each emitted window
+        batch before classification.
+    smoothing:
+        Majority-vote history length (1 disables smoothing).
+    """
+
+    def __init__(
+        self,
+        classify: Callable[[np.ndarray], np.ndarray],
+        window: int,
+        slide: int,
+        num_channels: int,
+        *,
+        preprocessor: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        smoothing: int = 5,
+    ) -> None:
+        self.classify = classify
+        self.windower = StreamWindower(window, slide, num_channels)
+        self.preprocessor = preprocessor
+        self.voter = MajorityVoter(smoothing)
+        self.decisions: List[StreamDecision] = []
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def samples_seen(self) -> int:
+        return self.windower.samples_seen
+
+    @property
+    def windows_classified(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def current_label(self) -> Optional[int]:
+        """The latest smoothed decision (``None`` before the first window)."""
+        return self.decisions[-1].smoothed_label if self.decisions else None
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+    def push(self, samples: np.ndarray) -> List[StreamDecision]:
+        """Ingest a ``(channels, n)`` chunk; classify every completed window.
+
+        Returns the decisions produced by this chunk (possibly empty — a
+        short chunk may not complete a new window).
+        """
+        windows = self.windower.push(samples)
+        if windows.shape[0] == 0:
+            return []
+        if self.preprocessor is not None:
+            windows = np.asarray(self.preprocessor(windows))
+        labels = np.asarray(self.classify(windows)).reshape(-1)
+        if labels.shape[0] != windows.shape[0]:
+            raise RuntimeError(
+                f"classifier returned {labels.shape[0]} labels for "
+                f"{windows.shape[0]} windows"
+            )
+        start = len(self.decisions)
+        produced: List[StreamDecision] = []
+        for offset, label in enumerate(labels):
+            smoothed = self.voter.vote(int(label))
+            produced.append(StreamDecision(start + offset, int(label), smoothed))
+        self.decisions.extend(produced)
+        return produced
+
+    def run(self, signal: np.ndarray, chunk_size: int = 64) -> List[StreamDecision]:
+        """Stream a whole ``(channels, samples)`` recording in chunks."""
+        signal = np.asarray(signal)
+        produced: List[StreamDecision] = []
+        for start in range(0, signal.shape[-1], chunk_size):
+            produced.extend(self.push(signal[:, start : start + chunk_size]))
+        return produced
+
+    def labels(self, smoothed: bool = True) -> np.ndarray:
+        """All per-window decisions so far as an int array."""
+        field = "smoothed_label" if smoothed else "label"
+        return np.asarray(
+            [getattr(decision, field) for decision in self.decisions], dtype=np.int64
+        )
+
+    def reset(self) -> None:
+        """Clear buffered samples, vote history and recorded decisions."""
+        self.windower.reset()
+        self.voter.reset()
+        self.decisions.clear()

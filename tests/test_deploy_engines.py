@@ -230,6 +230,85 @@ class TestLowering:
 
 
 # --------------------------------------------------------------------- #
+# Vectorised integer kernels vs. the original per-tap accumulation loops
+# --------------------------------------------------------------------- #
+def _int_conv1d_taploop(q_x, q_weight, stride, padding, dilation):
+    """The per-tap reference the vectorised ``_int_conv1d`` replaced."""
+    q_x = q_x.astype(np.int64)
+    q_weight = q_weight.astype(np.int64)
+    batch, _, length = q_x.shape
+    out_channels, _, kernel = q_weight.shape
+    if padding > 0:
+        q_x = np.pad(q_x, ((0, 0), (0, 0), (padding, padding)))
+        length = q_x.shape[-1]
+    effective = dilation * (kernel - 1) + 1
+    out_length = (length - effective) // stride + 1
+    accumulator = np.zeros((batch, out_channels, out_length), dtype=np.int64)
+    for tap in range(kernel):
+        start = tap * dilation
+        stop = start + stride * out_length
+        window = q_x[:, :, start:stop:stride]
+        accumulator += np.einsum("bcl,oc->bol", window, q_weight[:, :, tap])
+    return accumulator
+
+
+def _int_avgpool_taploop(q_x, kernel, stride):
+    """Per-tap accumulation of the integer average-pool (pre-requantisation)."""
+    batch, channels, length = q_x.shape
+    out_length = (length - kernel) // stride + 1
+    accumulator = np.zeros((batch, channels, out_length), dtype=np.int64)
+    for tap in range(kernel):
+        accumulator += q_x[:, :, tap : tap + stride * out_length : stride]
+    return accumulator
+
+
+class TestVectorizedIntegerKernels:
+    @given(
+        batch=st.integers(1, 3),
+        in_channels=st.integers(1, 5),
+        out_channels=st.integers(1, 5),
+        length=st.integers(8, 40),
+        kernel=st.integers(1, 7),
+        stride=st.integers(1, 4),
+        padding=st.integers(0, 3),
+        dilation=st.integers(1, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_int_conv1d_equals_taploop(
+        self, batch, in_channels, out_channels, length, kernel, stride, padding, dilation
+    ):
+        from repro.deploy.int_engine import _int_conv1d
+
+        effective = dilation * (kernel - 1) + 1
+        if length + 2 * padding < effective:
+            return  # empty output; the executor never builds such nodes
+        generator = np.random.default_rng(batch * 1000 + length * 10 + kernel)
+        q_x = generator.integers(-128, 128, size=(batch, in_channels, length))
+        q_weight = generator.integers(-128, 128, size=(out_channels, in_channels, kernel))
+        np.testing.assert_array_equal(
+            _int_conv1d(q_x, q_weight, stride, padding, dilation),
+            _int_conv1d_taploop(q_x, q_weight, stride, padding, dilation),
+        )
+
+    @given(
+        batch=st.integers(1, 3),
+        channels=st.integers(1, 6),
+        length=st.integers(4, 48),
+        kernel=st.integers(1, 6),
+        stride=st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_int_avgpool_equals_taploop(self, batch, channels, length, kernel, stride):
+        if length < kernel:
+            return
+        generator = np.random.default_rng(channels * 100 + length)
+        q_x = generator.integers(-128, 128, size=(batch, channels, length))
+        windows = np.lib.stride_tricks.sliding_window_view(q_x, kernel, axis=-1)
+        vectorized = windows[:, :, ::stride, :].astype(np.int64).sum(axis=-1)
+        np.testing.assert_array_equal(vectorized, _int_avgpool_taploop(q_x, kernel, stride))
+
+
+# --------------------------------------------------------------------- #
 # Integer executor
 # --------------------------------------------------------------------- #
 class TestIntegerExecutor:

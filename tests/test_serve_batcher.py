@@ -1,0 +1,210 @@
+"""Property-style tests of the dynamic micro-batcher.
+
+The batcher's contract: whatever the arrival pattern, no request is
+dropped, none is duplicated, every caller gets exactly its own result, and
+no micro-batch exceeds ``max_batch_size``.  The identity checks work by
+serving an "echo" function whose output row encodes the input row, so any
+reordering or duplication inside the batcher would corrupt the mapping.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import DynamicBatcher
+
+
+def echo_batch(batch: np.ndarray) -> np.ndarray:
+    """Identity backend: request payloads come straight back."""
+    return np.asarray(batch)
+
+
+class RecordingBackend:
+    """Echo backend that records every micro-batch it executes."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.batches = []
+        self.delay_s = delay_s
+        self.lock = threading.Lock()
+
+    def __call__(self, batch):
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        with self.lock:
+            self.batches.append(np.asarray(batch).copy())
+        return batch
+
+
+# --------------------------------------------------------------------- #
+# Core invariants under random arrival patterns
+# --------------------------------------------------------------------- #
+@given(
+    payloads=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=64),
+    max_batch_size=st.integers(min_value=1, max_value=9),
+)
+@settings(max_examples=25, deadline=None)
+def test_no_drop_no_duplicate_no_reorder(payloads, max_batch_size):
+    backend = RecordingBackend()
+    with DynamicBatcher(backend, max_batch_size=max_batch_size, max_wait_s=0.001) as batcher:
+        futures = [batcher.submit(np.array([value], dtype=np.int64)) for value in payloads]
+        results = [int(future.result(timeout=10.0)[0]) for future in futures]
+    # Every caller got exactly its own payload back, in submission order.
+    assert results == payloads
+    # No batch exceeded the cap and nothing was dropped or duplicated.
+    assert all(batch.shape[0] <= max_batch_size for batch in backend.batches)
+    flattened = [int(row[0]) for batch in backend.batches for row in batch]
+    assert flattened == payloads  # single consumer => batches follow FIFO order
+
+
+@given(
+    payloads=st.lists(st.integers(min_value=0, max_value=10_000), min_size=2, max_size=40),
+    num_threads=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=15, deadline=None)
+def test_concurrent_producers_each_get_their_own_result(payloads, num_threads):
+    backend = RecordingBackend(delay_s=0.0005)
+    outcomes = {}
+    lock = threading.Lock()
+
+    with DynamicBatcher(backend, max_batch_size=4, max_wait_s=0.002) as batcher:
+
+        def producer(chunk):
+            for value in chunk:
+                result = batcher.submit(np.array([value], dtype=np.int64)).result(timeout=10.0)
+                with lock:
+                    outcomes[value] = int(result[0])
+
+        unique = list(dict.fromkeys(payloads))
+        chunks = [unique[index::num_threads] for index in range(num_threads)]
+        threads = [threading.Thread(target=producer, args=(chunk,)) for chunk in chunks]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    # Identity preserved under concurrency: every request answered by itself.
+    assert outcomes == {value: value for value in dict.fromkeys(payloads)}
+    assert all(batch.shape[0] <= 4 for batch in backend.batches)
+
+
+# --------------------------------------------------------------------- #
+# Batch-size and flush-timeout invariants
+# --------------------------------------------------------------------- #
+def test_full_batches_form_when_requests_are_queued():
+    backend = RecordingBackend(delay_s=0.01)
+    with DynamicBatcher(backend, max_batch_size=8, max_wait_s=0.5) as batcher:
+        futures = [batcher.submit(np.array([i])) for i in range(32)]
+        for future in futures:
+            future.result(timeout=10.0)
+    # With the worker busy, the queue backs up and batches fill to the cap;
+    # the first batch may be smaller (it formed while the queue was empty).
+    assert max(batch.shape[0] for batch in backend.batches) == 8
+    assert batcher.stats.requests == 32
+    assert sum(batch.shape[0] for batch in backend.batches) == 32
+
+
+def test_flush_timeout_releases_partial_batch():
+    backend = RecordingBackend()
+    with DynamicBatcher(backend, max_batch_size=64, max_wait_s=0.02) as batcher:
+        start = time.monotonic()
+        result = batcher.submit(np.array([42])).result(timeout=10.0)
+        elapsed = time.monotonic() - start
+    assert int(result[0]) == 42
+    # A lone request must not wait for a full batch, only for the timeout
+    # (generous upper bound to stay robust on loaded CI machines).
+    assert elapsed < 5.0
+    assert backend.batches[0].shape[0] == 1
+
+
+def test_max_batch_size_one_serves_requests_individually():
+    backend = RecordingBackend()
+    with DynamicBatcher(backend, max_batch_size=1, max_wait_s=0.0) as batcher:
+        batcher.map([np.array([i]) for i in range(7)], timeout=10.0)
+    assert all(batch.shape[0] == 1 for batch in backend.batches)
+    assert batcher.stats.batches == 7
+
+
+# --------------------------------------------------------------------- #
+# Lifecycle and failure propagation
+# --------------------------------------------------------------------- #
+def test_close_drains_pending_requests():
+    backend = RecordingBackend(delay_s=0.005)
+    batcher = DynamicBatcher(backend, max_batch_size=4, max_wait_s=0.001)
+    futures = [batcher.submit(np.array([i])) for i in range(20)]
+    batcher.close()
+    results = [int(future.result(timeout=1.0)[0]) for future in futures]
+    assert results == list(range(20))
+
+
+def test_submit_after_close_raises():
+    batcher = DynamicBatcher(echo_batch)
+    batcher.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        batcher.submit(np.array([1.0]))
+
+
+def test_backend_error_propagates_to_every_future():
+    def broken(batch):
+        raise ValueError("backend exploded")
+
+    with DynamicBatcher(broken, max_batch_size=4, max_wait_s=0.01) as batcher:
+        futures = [batcher.submit(np.array([i])) for i in range(3)]
+        for future in futures:
+            with pytest.raises(ValueError, match="backend exploded"):
+                future.result(timeout=10.0)
+
+
+def test_row_count_mismatch_detected():
+    def lossy(batch):
+        return np.asarray(batch)[:-1] if len(batch) > 1 else np.asarray(batch)
+
+    with DynamicBatcher(lossy, max_batch_size=8, max_wait_s=0.05) as batcher:
+        futures = [batcher.submit(np.array([i])) for i in range(4)]
+        # Every future either fails loudly (its batch lost a row) or echoes
+        # its own payload; a silent wrong answer is impossible.
+        for index, future in enumerate(futures):
+            try:
+                result = future.result(timeout=10.0)
+            except RuntimeError as error:
+                assert "rows" in str(error)
+            else:
+                assert int(result[0]) == index
+
+
+def test_cancelled_request_is_dropped_and_worker_survives():
+    backend = RecordingBackend(delay_s=0.02)
+    with DynamicBatcher(backend, max_batch_size=1, max_wait_s=0.0) as batcher:
+        first = batcher.submit(np.array([0]))  # occupies the worker
+        queued = [batcher.submit(np.array([i])) for i in range(1, 6)]
+        victim = queued[2]
+        victim.cancel()
+        survivors = [f for f in queued if f is not victim]
+        results = [int(f.result(timeout=10.0)[0]) for f in [first] + survivors]
+        assert results == [0, 1, 2, 4, 5]
+        assert victim.cancelled() or int(victim.result(timeout=10.0)[0]) == 3
+        # The worker must still be serving after the cancellation.
+        assert int(batcher.submit(np.array([99])).result(timeout=10.0)[0]) == 99
+    cancelled_payloads = {3} if victim.cancelled() else set()
+    executed = {int(row[0]) for batch in backend.batches for row in batch}
+    assert executed == {0, 1, 2, 3, 4, 5, 99} - cancelled_payloads
+
+
+def test_map_returns_stacked_results_in_order():
+    with DynamicBatcher(echo_batch, max_batch_size=4) as batcher:
+        payloads = [np.array([float(i), float(-i)]) for i in range(10)]
+        stacked = batcher.map(payloads, timeout=10.0)
+    np.testing.assert_array_equal(stacked, np.stack(payloads))
+
+
+def test_stats_track_batches():
+    with DynamicBatcher(echo_batch, max_batch_size=4, max_wait_s=0.01) as batcher:
+        batcher.map([np.array([i]) for i in range(9)], timeout=10.0)
+    stats = batcher.stats
+    assert stats.requests == 9
+    assert 1 <= stats.max_batch <= 4
+    assert stats.batches >= 3  # 9 requests cannot fit in fewer than 3 batches
+    assert 0.0 < stats.mean_batch <= 4.0

@@ -1,0 +1,171 @@
+"""Streaming-session tests: windowing math and majority-vote smoothing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import StreamWindower, sliding_window_count, sliding_windows
+from repro.serve import InferenceServer, MajorityVoter, StreamSession
+
+
+# --------------------------------------------------------------------- #
+# Incremental windowing (the data-layer substrate of the stream)
+# --------------------------------------------------------------------- #
+class TestStreamWindower:
+    @given(
+        total=st.integers(min_value=0, max_value=600),
+        window=st.integers(min_value=1, max_value=50),
+        slide=st.integers(min_value=1, max_value=50),
+        chunk=st.integers(min_value=1, max_value=97),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_emission_count_matches_offline_math(self, total, window, slide, chunk):
+        signal = np.arange(2 * total, dtype=np.float64).reshape(2, total)
+        windower = StreamWindower(window, slide, num_channels=2)
+        emitted = 0
+        for start in range(0, total, chunk):
+            emitted += windower.push(signal[:, start : start + chunk]).shape[0]
+        assert emitted == sliding_window_count(total, window, slide)
+        assert windower.windows_emitted == emitted
+        assert windower.samples_seen == total
+
+    def test_streamed_windows_match_offline_segmentation_bitwise(self):
+        rng = np.random.default_rng(3)
+        signal = rng.normal(size=(4, 321))
+        offline = sliding_windows(signal, window=30, slide=7)
+        windower = StreamWindower(30, 7, num_channels=4)
+        streamed = [windower.push(signal[:, s : s + 41]) for s in range(0, 321, 41)]
+        streamed = np.concatenate([w for w in streamed if w.shape[0]], axis=0)
+        np.testing.assert_array_equal(streamed, offline)
+
+    def test_single_channel_vector_accepted(self):
+        windower = StreamWindower(4, 2, num_channels=1)
+        windows = windower.push(np.arange(10.0))
+        assert windows.shape == (4, 1, 4)
+
+    def test_channel_mismatch_rejected(self):
+        windower = StreamWindower(4, 2, num_channels=3)
+        with pytest.raises(ValueError, match="chunk"):
+            windower.push(np.zeros((2, 10)))
+
+    def test_reset_forgets_buffer(self):
+        windower = StreamWindower(5, 5, num_channels=1)
+        windower.push(np.zeros((1, 7)))
+        windower.reset()
+        assert windower.pending_samples == 0
+        assert windower.push(np.zeros((1, 4))).shape[0] == 0
+
+
+# --------------------------------------------------------------------- #
+# Majority-vote smoothing
+# --------------------------------------------------------------------- #
+class TestMajorityVoter:
+    def test_hand_computed_sequence(self):
+        # History 3; votes over the trailing window, ties -> smallest label.
+        voter = MajorityVoter(history=3)
+        sequence = [2, 2, 5, 5, 5, 1, 0, 0]
+        #   window:  [2] [2,2] [2,2,5] [2,5,5] [5,5,5] [5,5,1] [5,1,0] [1,0,0]
+        expected = [2, 2, 2, 5, 5, 5, 0, 0]
+        assert [voter.vote(label) for label in sequence] == expected
+
+    def test_single_spurious_window_is_suppressed(self):
+        voter = MajorityVoter(history=5)
+        labels = [3, 3, 3, 7, 3, 3]
+        smoothed = [voter.vote(label) for label in labels]
+        assert smoothed == [3] * 6
+
+    def test_history_one_disables_smoothing(self):
+        voter = MajorityVoter(history=1)
+        labels = [4, 1, 1, 6]
+        assert [voter.vote(label) for label in labels] == labels
+
+    def test_tie_breaks_toward_smallest_label(self):
+        voter = MajorityVoter(history=4)
+        for label in (9, 9, 2, 2):
+            smoothed = voter.vote(label)
+        assert smoothed == 2
+
+    def test_rejects_non_positive_history(self):
+        with pytest.raises(ValueError):
+            MajorityVoter(history=0)
+
+
+# --------------------------------------------------------------------- #
+# StreamSession end-to-end
+# --------------------------------------------------------------------- #
+def label_by_mean(windows: np.ndarray) -> np.ndarray:
+    """Deterministic toy classifier: label = sign bucket of the window mean."""
+    means = windows.mean(axis=(1, 2))
+    return (means > 0).astype(np.int64)
+
+
+class TestStreamSession:
+    def test_decision_count_matches_windowing_math(self):
+        rng = np.random.default_rng(11)
+        session = StreamSession(label_by_mean, window=40, slide=10, num_channels=3)
+        signal = rng.normal(size=(3, 507))
+        decisions = session.run(signal, chunk_size=53)
+        assert len(decisions) == sliding_window_count(507, 40, 10)
+        assert [d.window_index for d in decisions] == list(range(len(decisions)))
+        assert session.windows_classified == len(decisions)
+
+    def test_smoothing_matches_manual_vote_replay(self):
+        rng = np.random.default_rng(13)
+        session = StreamSession(
+            label_by_mean, window=20, slide=5, num_channels=2, smoothing=3
+        )
+        session.run(rng.normal(size=(2, 300)), chunk_size=17)
+        raw = session.labels(smoothed=False)
+        replay = MajorityVoter(history=3)
+        expected = [replay.vote(int(label)) for label in raw]
+        assert session.labels(smoothed=True).tolist() == expected
+
+    def test_short_chunks_emit_nothing_until_window_completes(self):
+        session = StreamSession(label_by_mean, window=50, slide=50, num_channels=1)
+        assert session.push(np.zeros((1, 30))) == []
+        assert session.current_label is None
+        produced = session.push(np.ones((1, 30)))
+        assert len(produced) == 1
+        assert session.current_label == produced[0].smoothed_label
+
+    def test_preprocessor_applied_before_classification(self):
+        seen = {}
+
+        def spy_preprocessor(windows):
+            seen["shape"] = windows.shape
+            return windows * 0.0  # force every mean to 0 -> label 0
+
+        session = StreamSession(
+            label_by_mean,
+            window=10,
+            slide=10,
+            num_channels=2,
+            preprocessor=spy_preprocessor,
+        )
+        decisions = session.push(np.ones((2, 30)))
+        assert seen["shape"] == (3, 2, 10)
+        assert [d.label for d in decisions] == [0, 0, 0]
+
+    def test_reset_clears_state(self):
+        session = StreamSession(label_by_mean, window=10, slide=5, num_channels=1)
+        session.push(np.ones((1, 25)))
+        session.reset()
+        assert session.windows_classified == 0
+        assert session.samples_seen == 0
+        assert session.current_label is None
+
+    def test_stream_through_inference_server(self):
+        rng = np.random.default_rng(17)
+        with InferenceServer(
+            "bio1",
+            "float",
+            patch_size=10,
+            model_kwargs=dict(num_channels=4, window_samples=60, seed=11),
+            max_batch_size=8,
+        ) as server:
+            session = server.open_stream(slide=15, smoothing=3)
+            decisions = session.run(rng.normal(size=(4, 400)), chunk_size=64)
+        assert len(decisions) == sliding_window_count(400, 60, 15)
+        assert all(0 <= d.label < 8 for d in decisions)
+        assert all(0 <= d.smoothed_label < 8 for d in decisions)

@@ -288,6 +288,32 @@ class TestBackwardMechanics:
 
         assert not run().requires_grad
 
+    def test_no_grad_is_thread_local(self):
+        # A serving thread under no_grad/inference_mode must not disable
+        # gradient recording for a concurrently training thread.
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def serving_thread():
+            with no_grad():
+                entered.set()
+                release.wait(timeout=10.0)
+
+        worker = threading.Thread(target=serving_thread)
+        worker.start()
+        try:
+            assert entered.wait(timeout=10.0)
+            a = Tensor([2.0], requires_grad=True)
+            out = a * a
+            assert out.requires_grad
+            out.backward()
+            np.testing.assert_allclose(a.grad, [4.0])
+        finally:
+            release.set()
+            worker.join(timeout=10.0)
+
     def test_detach_and_copy(self):
         a = Tensor([1.0, 2.0], requires_grad=True)
         d = a.detach()
