@@ -11,9 +11,17 @@ host through :mod:`repro.serve`:
 2. start an :class:`~repro.serve.InferenceServer` (float backend, dynamic
    micro-batching) for a Bioformer looked up from the model registry;
 3. stream the recording chunk-by-chunk through a
-   :class:`~repro.serve.StreamSession` and print the smoothed decisions;
+   :class:`~repro.serve.StreamSession` and print the smoothed decisions —
+   while a bulk re-scoring job of the same windows runs concurrently at
+   low priority (``infer_async``), so the live stream's high-priority
+   windows preempt it in the micro-batch queue;
 4. repeat with the int8 backend — the GAP8 integer numerics — and compare
    the decision streams.
+
+The float server runs on a two-thread :class:`~repro.serve.WorkerPool`
+(``num_workers=2``), overlapping micro-batch formation with backend
+execution; per-priority request counts are reported at the end of each
+phase.
 
 Run with::
 
@@ -22,8 +30,8 @@ Run with::
 
 import numpy as np
 
-from repro.data import NinaProDB6, NinaProDB6Config
-from repro.serve import BackendCache, InferenceServer
+from repro.data import NinaProDB6, NinaProDB6Config, sliding_windows
+from repro.serve import BackendCache, InferenceServer, Priority
 
 
 def make_stream(dataset: NinaProDB6, subject: int = 1) -> np.ndarray:
@@ -38,6 +46,16 @@ def make_stream(dataset: NinaProDB6, subject: int = 1) -> np.ndarray:
 
 
 def run_stream(server: InferenceServer, signal: np.ndarray, slide: int) -> np.ndarray:
+    """Stream at HIGH priority while bulk re-scoring rides along at LOW.
+
+    ``open_stream`` classifies at :data:`Priority.HIGH` by default, so the
+    live session's windows jump ahead of the queued low-priority bulk
+    futures inside the shared micro-batch queue.
+    """
+    window = server.input_shape[-1]
+    bulk_futures = server.infer_async(
+        sliding_windows(signal, window=window, slide=slide), priority=Priority.LOW
+    )
     session = server.open_stream(slide=slide, smoothing=5)
     for start in range(0, signal.shape[-1], 64):  # 64-sample acquisition chunks
         for decision in session.push(signal[:, start : start + 64]):
@@ -46,6 +64,20 @@ def run_stream(server: InferenceServer, signal: np.ndarray, slide: int) -> np.nd
                     f"  window {decision.window_index:4d}: "
                     f"raw={decision.label}  smoothed={decision.smoothed_label}"
                 )
+    bulk_done = sum(future.done() for future in bulk_futures)
+    bulk_logits = np.stack([future.result(timeout=60.0) for future in bulk_futures])
+    stream_labels = session.labels(smoothed=False)
+    agreement = float(np.mean(np.argmax(bulk_logits, axis=-1) == stream_labels))
+    by_priority = server.stats.by_priority
+    print(
+        f"  bulk rescore: {len(bulk_futures)} windows at LOW priority "
+        f"({bulk_done} already done when the stream finished), "
+        f"{100 * agreement:.0f}% label agreement with the live stream"
+    )
+    print(
+        f"  served per priority: HIGH={by_priority.get(int(Priority.HIGH), 0)} "
+        f"LOW={by_priority.get(int(Priority.LOW), 0)}"
+    )
     return session.labels(smoothed=True)
 
 
@@ -66,16 +98,25 @@ def main() -> None:
         seed=0,
     )
 
-    # 2-3. Serve the float backend and stream the signal through it.
-    print("\n-- float backend ----------------------------------------------")
+    # 2-3. Serve the float backend on a 2-worker pool and stream the signal
+    # through it, with a concurrent low-priority bulk re-score of the same
+    # windows (the stream's HIGH-priority requests preempt it).
+    print("\n-- float backend (2 workers) ----------------------------------")
     with InferenceServer(
-        "bio1", "float", patch_size=10, model_kwargs=geometry, cache=cache, max_batch_size=16
+        "bio1",
+        "float",
+        patch_size=10,
+        model_kwargs=geometry,
+        cache=cache,
+        max_batch_size=16,
+        num_workers=2,
     ) as server:
         float_labels = run_stream(server, signal, slide=config.slide_samples)
         stats = server.stats
         print(
             f"served {stats.requests} windows in {stats.batches} micro-batches "
-            f"(mean batch {stats.batcher.mean_batch:.1f})"
+            f"(mean batch {stats.batcher.mean_batch:.1f}, "
+            f"{stats.pool.num_workers} workers, {stats.pool.jobs} pool jobs)"
         )
 
     # 4. Same stream through the int8 (GAP8 numerics) backend.

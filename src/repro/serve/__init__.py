@@ -1,19 +1,28 @@
-"""``repro.serve`` — streaming inference service with dynamic micro-batching.
+"""``repro.serve`` — streaming inference service with priority-aware
+multi-worker micro-batching.
 
 The deployment toolchain (:mod:`repro.deploy`) produces models that run on
 an MCU; this package serves the same models as an online service, which is
 the other half of the paper's real-time scenario and the seam every later
-scaling PR (sharding, async workers, remote backends) plugs into:
+scaling PR (sharding, remote backends) plugs into:
 
 * :mod:`repro.serve.backends` — the :class:`Backend` protocol plus the
   float (``repro.nn`` forward) and int8 (integer graph executor)
   implementations;
+* :mod:`repro.serve.pool` — the request model (:class:`Priority`,
+  :class:`DeadlineExceeded`) and :class:`WorkerPool`, ``N`` threads
+  executing formed micro-batches concurrently;
 * :mod:`repro.serve.batcher` — :class:`DynamicBatcher`, aggregating
-  concurrent single-window requests into bounded micro-batches;
+  concurrent single-window requests into bounded micro-batches from a
+  priority queue (high-priority streams preempt queued bulk scoring,
+  expired requests resolve with :class:`DeadlineExceeded`, and one
+  malformed request can never poison its batch-mates);
 * :mod:`repro.serve.stream` — :class:`StreamSession`, raw-signal streaming
   with overlapping windows and majority-vote label smoothing;
-* :mod:`repro.serve.server` — the :class:`InferenceServer` facade and the
-  process-wide backend cache.
+* :mod:`repro.serve.server` — the :class:`InferenceServer` facade
+  (sync ``infer``/``predict``, async ``submit``/``infer_async``/
+  ``as_completed``, high-priority ``open_stream``) and the process-wide
+  backend cache.
 """
 
 from .backends import (
@@ -24,7 +33,8 @@ from .backends import (
     build_int8_backend,
 )
 from .batcher import BatcherStats, DynamicBatcher
-from .server import BackendCache, InferenceServer, get_default_cache
+from .pool import DeadlineExceeded, PoolStats, Priority, WorkerPool
+from .server import BackendCache, InferenceServer, ServerStats, get_default_cache
 from .stream import MajorityVoter, StreamDecision, StreamSession
 
 __all__ = [
@@ -35,8 +45,13 @@ __all__ = [
     "build_int8_backend",
     "BatcherStats",
     "DynamicBatcher",
+    "DeadlineExceeded",
+    "PoolStats",
+    "Priority",
+    "WorkerPool",
     "BackendCache",
     "InferenceServer",
+    "ServerStats",
     "get_default_cache",
     "MajorityVoter",
     "StreamDecision",

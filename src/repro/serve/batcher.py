@@ -1,54 +1,78 @@
-"""Dynamic micro-batching of concurrent inference requests.
+"""Priority-aware dynamic micro-batching of concurrent inference requests.
 
 Serving traffic arrives one window at a time, but every backend in this
 repository (the NumPy ``repro.nn`` forward pass as well as the integer
 graph executor) amortises its per-call Python overhead over the batch axis.
 The :class:`DynamicBatcher` sits between the two: callers submit single
-windows and receive futures; a background worker drains the request queue
-into micro-batches of at most ``max_batch_size`` windows, flushing a
-partially filled batch once the oldest request has waited ``max_wait_s``.
+windows and receive futures; a background forming thread drains the
+request queue into micro-batches of at most ``max_batch_size`` windows,
+flushing a partially filled batch once the oldest request has waited
+``max_wait_s``.
+
+Requests carry a :class:`~repro.serve.pool.Priority` and an optional
+deadline.  The queue is a priority queue (FIFO within one priority level),
+so high-priority streaming traffic is batched ahead of already-queued
+low-priority bulk scoring, and a request whose deadline lapses resolves
+with :class:`~repro.serve.pool.DeadlineExceeded` instead of occupying a
+batch slot.  Formed batches either execute inline (the single-worker
+default) or are dispatched to a :class:`~repro.serve.pool.WorkerPool`,
+which overlaps batch formation with backend execution across ``N``
+threads.
 
 Invariants (enforced by the property tests in ``tests/test_serve_batcher.py``):
 
 * **no request is dropped** — every submitted future completes, even when
   the batcher is closed with requests still queued;
 * **no request is duplicated** — each future resolves exactly once;
-* **order is preserved** — rows of a micro-batch follow submission order,
-  and each caller receives exactly the output row of its own input;
-* **batches never exceed** ``max_batch_size``.
-
-The same queue/executor split appears in large-scale serving stacks (e.g.
-the neuron pipeline executors); this is the single-process version that
-later multi-worker PRs can swap out.
+* **order is preserved per priority level** — within one priority, rows of
+  a micro-batch follow submission order, and each caller receives exactly
+  the output row of its own input;
+* **batches never exceed** ``max_batch_size``;
+* **no batch poisoning** — a malformed or expired request fails (only) its
+  own future; its batch-mates still execute.
 """
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from concurrent.futures import wait as wait_futures
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
+
+from .pool import DeadlineExceeded, Priority, WorkerPool
 
 __all__ = ["BatcherStats", "DynamicBatcher"]
 
 _SHUTDOWN = object()
+# The shutdown sentinel sorts after every real priority, so by the time the
+# forming thread pops it the priority queue holds no live requests.
+_SHUTDOWN_PRIORITY = float("inf")
 
 
-@dataclass
+@dataclass(frozen=True)
 class BatcherStats:
-    """Running counters of the micro-batches an executor actually formed.
+    """Immutable snapshot of the micro-batches an executor actually formed.
 
     Plain counters (not a per-batch history) so a long-lived serving
-    process accumulates O(1) state regardless of traffic volume.
+    process accumulates O(1) state regardless of traffic volume.  The
+    ``stats`` property hands out a *frozen copy* taken under the batcher's
+    lock — mutating or holding a snapshot can never corrupt (or observe a
+    torn view of) the live counters.
     """
 
     requests: int = 0
     batches: int = 0
     max_batch: int = 0
+    expired: int = 0
+    malformed: int = 0
+    by_priority: Mapping[int, int] = field(default_factory=dict)
 
     @property
     def mean_batch(self) -> float:
@@ -56,11 +80,19 @@ class BatcherStats:
 
 
 class _Request:
-    __slots__ = ("payload", "future")
+    __slots__ = ("payload", "future", "priority", "deadline")
 
-    def __init__(self, payload: np.ndarray, future: Future) -> None:
+    def __init__(
+        self,
+        payload: np.ndarray,
+        future: Future,
+        priority: int,
+        deadline: Optional[float],
+    ) -> None:
         self.payload = payload
         self.future = future
+        self.priority = priority
+        self.deadline = deadline  # absolute time.monotonic() instant
 
 
 class DynamicBatcher:
@@ -76,6 +108,20 @@ class DynamicBatcher:
     max_wait_s:
         Flush timeout: a partially filled batch is executed once its oldest
         request has waited this long.
+    input_shape:
+        Expected per-request payload shape.  When given, a mismatching
+        payload fails its own future with ``ValueError`` at batch-stack
+        time; when omitted, the majority payload shape of each micro-batch
+        defines the reference (ties break toward the earliest submission).
+        Either way one malformed request can never fail its batch-mates.
+    pool:
+        Optional :class:`~repro.serve.pool.WorkerPool`.  When given, formed
+        batches are dispatched to the pool (overlapping formation with
+        execution, and batches with each other across workers); when
+        ``None``, batches execute inline on the forming thread — the exact
+        single-worker semantics of the pre-pool batcher.  The pool is
+        *borrowed*: closing the batcher drains its own dispatched jobs but
+        never closes the pool.
     """
 
     def __init__(
@@ -84,6 +130,8 @@ class DynamicBatcher:
         max_batch_size: int = 16,
         max_wait_s: float = 0.002,
         name: str = "",
+        input_shape: Optional[Tuple[int, ...]] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -93,51 +141,124 @@ class DynamicBatcher:
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_s)
         self.name = name or "batcher"
-        self.stats = BatcherStats()
-        self._queue: "queue.Queue" = queue.Queue()
+        self.input_shape = tuple(input_shape) if input_shape is not None else None
+        self.pool = pool
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
+        self._ticket = itertools.count()  # FIFO tie-break within a priority
         self._lock = threading.Lock()
         self._closed = False
+        self._requests = 0
+        self._batches = 0
+        self._max_batch = 0
+        self._expired = 0
+        self._malformed = 0
+        self._by_priority: dict = {}
+        self._pending: List[Future] = []  # in-flight pool jobs
+        # Dispatch throttle: at most num_workers batches may be in flight,
+        # so excess requests wait in the *priority* queue (where HIGH can
+        # still jump ahead) instead of piling up as formed batches in the
+        # pool's FIFO job queue — unbounded dispatch would defeat
+        # preemption whenever a pool is attached.
+        self._dispatch_slots = (
+            threading.Semaphore(pool.num_workers) if pool is not None else None
+        )
         self._worker = threading.Thread(
-            target=self._run, name=f"{self.name}-worker", daemon=True
+            target=self._run, name=f"{self.name}-former", daemon=True
         )
         self._worker.start()
 
     # ------------------------------------------------------------------ #
     # Submission API
     # ------------------------------------------------------------------ #
-    def submit(self, window: np.ndarray) -> Future:
-        """Enqueue one window; the future resolves to its result row."""
+    def submit(
+        self,
+        window: np.ndarray,
+        priority: int = Priority.NORMAL,
+        deadline_s: Optional[float] = None,
+    ) -> Future:
+        """Enqueue one window; the future resolves to its result row.
+
+        ``priority`` orders batch formation (lower first, FIFO within a
+        level).  ``deadline_s`` is a relative budget: if the request is
+        still queued after that many seconds it resolves with
+        :class:`~repro.serve.pool.DeadlineExceeded` instead of executing.
+        """
+        if deadline_s is not None and deadline_s < 0:
+            raise ValueError("deadline_s must be >= 0")
+        deadline = time.monotonic() + deadline_s if deadline_s is not None else None
         future: Future = Future()
-        request = _Request(np.asarray(window), future)
+        request = _Request(np.asarray(window), future, int(priority), deadline)
         # Enqueue under the lock so a concurrent close() either sees this
         # request before its shutdown sentinel (and drains it) or rejects
         # the submission — a request can never slip in after the drain.
         with self._lock:
             if self._closed:
                 raise RuntimeError(f"{self.name} is closed")
-            self._queue.put(request)
+            self._queue.put((request.priority, next(self._ticket), request))
         return future
 
-    def submit_many(self, windows: Sequence[np.ndarray]) -> List[Future]:
+    def submit_many(
+        self,
+        windows: Sequence[np.ndarray],
+        priority: int = Priority.NORMAL,
+        deadline_s: Optional[float] = None,
+    ) -> List[Future]:
         """Enqueue several windows in order (one future per window)."""
-        return [self.submit(window) for window in windows]
+        return [self.submit(window, priority=priority, deadline_s=deadline_s) for window in windows]
 
-    def map(self, windows: Sequence[np.ndarray], timeout: Optional[float] = None) -> np.ndarray:
-        """Submit ``windows`` and block for the stacked results (in order)."""
-        futures = self.submit_many(windows)
+    def map(
+        self,
+        windows: Sequence[np.ndarray],
+        timeout: Optional[float] = None,
+        priority: int = Priority.NORMAL,
+        deadline_s: Optional[float] = None,
+    ) -> np.ndarray:
+        """Submit ``windows`` and block for the stacked results (in order).
+
+        Zero windows is a valid (empty) workload: the result is an empty
+        ``(0,)`` array rather than an obscure ``np.stack([])`` failure.
+        (With no requests the batcher cannot know the backend's result-row
+        shape; callers that do know it should reshape — e.g.
+        ``InferenceServer.infer`` returns ``(0, num_classes)``.)
+        """
+        futures = self.submit_many(windows, priority=priority, deadline_s=deadline_s)
+        if not futures:
+            return np.empty((0,), dtype=np.float64)
         return np.stack([future.result(timeout=timeout) for future in futures])
 
     # ------------------------------------------------------------------ #
-    # Lifecycle
+    # Lifecycle / introspection
     # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> BatcherStats:
+        """A frozen snapshot of the counters, taken under the lock."""
+        with self._lock:
+            return BatcherStats(
+                requests=self._requests,
+                batches=self._batches,
+                max_batch=self._max_batch,
+                expired=self._expired,
+                malformed=self._malformed,
+                by_priority=MappingProxyType(dict(self._by_priority)),
+            )
+
     def close(self, timeout: Optional[float] = 10.0) -> None:
-        """Stop accepting requests, drain the queue, and join the worker."""
+        """Stop accepting requests, drain the queue, and join the worker.
+
+        When a pool is attached, also blocks until every batch this batcher
+        already dispatched has finished executing (the pool itself stays
+        open — it may be shared).
+        """
         with self._lock:
             already = self._closed
             if not already:
                 self._closed = True
-                self._queue.put(_SHUTDOWN)
+                self._queue.put((_SHUTDOWN_PRIORITY, next(self._ticket), _SHUTDOWN))
         self._worker.join(timeout=timeout)
+        with self._lock:
+            pending = list(self._pending)
+        if pending:
+            wait_futures(pending, timeout=timeout)
 
     @property
     def closed(self) -> bool:
@@ -150,53 +271,151 @@ class DynamicBatcher:
         self.close()
 
     # ------------------------------------------------------------------ #
-    # Worker
+    # Batch formation
     # ------------------------------------------------------------------ #
     def _run(self) -> None:
         draining = False
         while not draining:
-            first = self._queue.get()
+            _, _, first = self._queue.get()
             if first is _SHUTDOWN:
                 break
-            batch = [first]
+            batch = []
+            self._admit(first, batch)
             deadline = time.monotonic() + self.max_wait_s
             while len(batch) < self.max_batch_size:
                 remaining = deadline - time.monotonic()
                 try:
                     if remaining > 0:
-                        item = self._queue.get(timeout=remaining)
+                        _, _, item = self._queue.get(timeout=remaining)
                     else:
-                        item = self._queue.get_nowait()
+                        _, _, item = self._queue.get_nowait()
                 except queue.Empty:
                     break
                 if item is _SHUTDOWN:
                     draining = True
                     break
-                batch.append(item)
-            self._execute(batch)
+                self._admit(item, batch)
+            self._dispatch(batch)
         # Drain everything still queued at close() time so no future is
-        # left pending; requests are still batched (submission order holds
-        # because this worker is the queue's only consumer).
+        # left pending; requests are still batched, in priority order
+        # (this forming thread is the queue's only consumer).
         while True:
             batch = []
             while len(batch) < self.max_batch_size:
                 try:
-                    item = self._queue.get_nowait()
+                    _, _, item = self._queue.get_nowait()
                 except queue.Empty:
                     break
                 if item is _SHUTDOWN:
                     continue
-                batch.append(item)
+                self._admit(item, batch)
             if not batch:
                 break
-            self._execute(batch)
+            self._dispatch(batch)
 
+    def _admit(self, request: _Request, batch: List[_Request]) -> None:
+        """Add ``request`` to the forming batch, or expire it in place.
+
+        A past-deadline request is resolved immediately with
+        ``DeadlineExceeded`` so it never occupies a batch slot that a
+        still-viable request could use.
+        """
+        if request.deadline is not None and time.monotonic() > request.deadline:
+            if request.future.set_running_or_notify_cancel():
+                with self._lock:
+                    self._expired += 1
+                request.future.set_exception(
+                    DeadlineExceeded(
+                        f"{self.name}: request expired after waiting past its deadline"
+                    )
+                )
+            return
+        batch.append(request)
+
+    def _dispatch(self, batch: List[_Request]) -> None:
+        if not batch:
+            return
+        if self.pool is None:
+            self._execute(batch)
+            return
+        self._dispatch_slots.acquire()
+        try:
+            job = self.pool.submit(lambda: self._execute(batch))
+        except RuntimeError:
+            # A borrowed pool was closed while this batcher is still live.
+            # Fall back to inline execution: the forming thread must never
+            # die with futures unresolved (the no-request-dropped invariant
+            # outranks pool dispatch).
+            self._dispatch_slots.release()
+            self._execute(batch)
+            return
+        job.add_done_callback(lambda _job: self._dispatch_slots.release())
+        with self._lock:
+            # Prune settled jobs so long-lived batchers hold O(workers)
+            # futures, not one per batch ever dispatched.
+            self._pending = [f for f in self._pending if not f.done()]
+            self._pending.append(job)
+
+    # ------------------------------------------------------------------ #
+    # Batch execution (forming thread or pool worker)
+    # ------------------------------------------------------------------ #
     def _execute(self, batch: List[_Request]) -> None:
         # Claim every future before running: a future that was cancelled
         # while queued is dropped here, and a claimed (RUNNING) future can
         # no longer be cancelled, so set_result/set_exception below cannot
         # race a caller's cancel() into InvalidStateError.
-        live = [request for request in batch if request.future.set_running_or_notify_cancel()]
+        claimed = [request for request in batch if request.future.set_running_or_notify_cancel()]
+        alive: List[_Request] = []
+        expired: List[_Request] = []
+        for request in claimed:
+            # Re-check the deadline at execution time: a request can expire
+            # between batch formation and a pool worker picking the job up.
+            if request.deadline is not None and time.monotonic() > request.deadline:
+                expired.append(request)
+            else:
+                alive.append(request)
+        reference = self.input_shape
+        if reference is None and alive:
+            # Majority shape of the batch (ties -> earliest submission):
+            # one malformed request can never outvote its batch-mates, no
+            # matter where it lands in the batch.
+            counts: dict = {}
+            for request in alive:
+                shape = np.shape(request.payload)
+                counts[shape] = counts.get(shape, 0) + 1
+            best = max(counts.values())
+            reference = next(
+                shape
+                for shape in (np.shape(request.payload) for request in alive)
+                if counts[shape] == best
+            )
+        live: List[_Request] = []
+        malformed: List[_Request] = []
+        for request in alive:
+            if np.shape(request.payload) != reference:
+                malformed.append(request)
+            else:
+                live.append(request)
+        if expired or malformed:
+            # Update the counters *before* resolving the futures, so a
+            # caller that awaits a rejected future and then reads ``stats``
+            # always observes its own request accounted for.
+            with self._lock:
+                self._expired += len(expired)
+                self._malformed += len(malformed)
+            for request in expired:
+                request.future.set_exception(
+                    DeadlineExceeded(
+                        f"{self.name}: request expired before its batch executed"
+                    )
+                )
+            for request in malformed:
+                request.future.set_exception(
+                    ValueError(
+                        f"{self.name}: request payload has shape "
+                        f"{np.shape(request.payload)}, expected {reference}"
+                    )
+                )
         if not live:
             return
         try:
@@ -212,8 +431,12 @@ class DynamicBatcher:
                 request.future.set_exception(error)
             return
         with self._lock:
-            self.stats.requests += len(live)
-            self.stats.batches += 1
-            self.stats.max_batch = max(self.stats.max_batch, len(live))
+            self._requests += len(live)
+            self._batches += 1
+            self._max_batch = max(self._max_batch, len(live))
+            for request in live:
+                self._by_priority[request.priority] = (
+                    self._by_priority.get(request.priority, 0) + 1
+                )
         for row, request in enumerate(live):
             request.future.set_result(results[row])

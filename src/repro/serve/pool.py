@@ -1,0 +1,188 @@
+"""Multi-worker execution pool and the request priority/deadline model.
+
+PR 1's :class:`~repro.serve.batcher.DynamicBatcher` executed every
+micro-batch inline on its single forming thread, so batch formation and
+backend execution were serialised.  This module supplies the scale-out
+half of the serving stack:
+
+* :class:`Priority` / :class:`DeadlineExceeded` — the request model shared
+  by the batcher and the server: lower priority values run first (so
+  :data:`Priority.HIGH` streaming traffic preempts :data:`Priority.LOW`
+  bulk scoring), and a request whose deadline lapses while queued resolves
+  with :class:`DeadlineExceeded` instead of occupying a batch slot;
+* :class:`WorkerPool` — ``N`` daemon threads draining a job queue of
+  formed micro-batches.  Threads (not processes) are the right unit here:
+  both backends are NumPy-bound and release the GIL inside their BLAS
+  kernels, and threads share the process-wide
+  :class:`~repro.serve.server.BackendCache` for free.
+
+The pool is deliberately generic (``submit(fn) -> Future``): the batcher
+hands it zero-argument batch closures, but any backend maintenance job
+(cache warm-up, calibration refresh) can ride the same workers.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Callable, Optional, Tuple
+
+__all__ = ["DeadlineExceeded", "PoolStats", "Priority", "WorkerPool"]
+
+
+class Priority(IntEnum):
+    """Request urgency classes; lower values are served first.
+
+    The gaps leave room for caller-defined intermediate levels — any int
+    is accepted wherever a ``Priority`` is, and ties are broken FIFO by
+    submission order.
+    """
+
+    HIGH = 0
+    NORMAL = 10
+    LOW = 20
+
+
+class DeadlineExceeded(TimeoutError):
+    """A request's deadline lapsed before a worker could serve it.
+
+    Raised *through the request's future* (never into batch-mates): the
+    expired request is dropped from batch formation so its slot goes to a
+    request that can still meet its deadline.
+    """
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Immutable snapshot of a :class:`WorkerPool`'s counters."""
+
+    num_workers: int
+    jobs: int = 0
+    failures: int = 0
+    per_worker: Tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def busiest_worker(self) -> int:
+        return max(self.per_worker) if self.per_worker else 0
+
+
+_SHUTDOWN = object()
+
+
+class WorkerPool:
+    """``N`` threads executing submitted jobs; futures report completion.
+
+    Parameters
+    ----------
+    num_workers:
+        Concurrent worker threads.  ``1`` reproduces single-worker
+        execution semantics (jobs run serially in submission order).
+    name:
+        Thread-name prefix, for debuggability under ``threading.enumerate``.
+
+    Invariants (tested in ``tests/test_serve_pool.py``):
+
+    * every submitted job either runs or (if cancelled while queued) is
+      skipped — a job's future always completes once claimed;
+    * ``close()`` drains every job already queued before returning;
+    * a job that raises fails only its own future, never the worker.
+    """
+
+    def __init__(self, num_workers: int = 2, name: str = "pool") -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = int(num_workers)
+        self.name = name or "pool"
+        self._queue: "queue.Queue" = queue.Queue()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._jobs = 0
+        self._failures = 0
+        self._per_worker = [0] * self.num_workers
+        self._threads = [
+            threading.Thread(
+                target=self._run, args=(index,), name=f"{self.name}-{index}", daemon=True
+            )
+            for index in range(self.num_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, job: Callable[[], object]) -> Future:
+        """Enqueue a zero-argument job; the future resolves to its result."""
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"{self.name} is closed")
+            self._queue.put((job, future))
+        return future
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------ #
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting jobs, drain the queue, and join every worker."""
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                for _ in self._threads:
+                    self._queue.put(_SHUTDOWN)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def stats(self) -> PoolStats:
+        with self._lock:
+            return PoolStats(
+                num_workers=self.num_workers,
+                jobs=self._jobs,
+                failures=self._failures,
+                per_worker=tuple(self._per_worker),
+            )
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"WorkerPool(name='{self.name}', num_workers={self.num_workers})"
+
+    # ------------------------------------------------------------------ #
+    # Worker loop
+    # ------------------------------------------------------------------ #
+    def _run(self, index: int) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                # Workers exit one sentinel each; real jobs queued before
+                # close() were already ahead of every sentinel (FIFO), so
+                # nothing claimable is left behind.
+                break
+            job, future = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                result = job()
+            except BaseException as error:  # noqa: BLE001 — forwarded to caller
+                with self._lock:
+                    self._jobs += 1
+                    self._failures += 1
+                    self._per_worker[index] += 1
+                future.set_exception(error)
+            else:
+                with self._lock:
+                    self._jobs += 1
+                    self._per_worker[index] += 1
+                future.set_result(result)

@@ -1,15 +1,21 @@
 """The serving facade: one API over both inference engines.
 
-:class:`InferenceServer` owns a :class:`~repro.serve.backends.Backend` and a
-:class:`~repro.serve.batcher.DynamicBatcher`, and exposes the three call
-styles a gesture-recognition service needs:
+:class:`InferenceServer` owns a :class:`~repro.serve.backends.Backend`, a
+:class:`~repro.serve.batcher.DynamicBatcher` and (when ``num_workers > 1``)
+a :class:`~repro.serve.pool.WorkerPool`, and exposes the call styles a
+gesture-recognition service needs:
 
-* ``submit(window)`` — asynchronous single-window requests (the batcher
-  aggregates concurrent callers into micro-batches);
+* ``submit(window, priority=..., deadline_s=...)`` — asynchronous
+  single-window requests (the batcher aggregates concurrent callers into
+  micro-batches, in priority order);
 * ``infer(windows)`` / ``predict(windows)`` — synchronous batch inference
-  routed through the same micro-batching path;
+  routed through the same micro-batching path, at bulk (low) priority by
+  default;
+* ``infer_async(windows)`` + ``as_completed(futures)`` — the async-friendly
+  bulk path: futures out, completion-order consumption in;
 * ``open_stream(...)`` — a :class:`~repro.serve.stream.StreamSession` bound
-  to this server for raw-signal streaming.
+  to this server, classifying at high priority so live streams preempt
+  queued bulk scoring.
 
 Backends are constructed through a process-wide cache keyed by
 ``(architecture, patch_size, backend)`` (plus the full registry kwargs), so
@@ -23,8 +29,20 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from concurrent.futures import Future
+from concurrent.futures import as_completed as _as_completed
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -32,9 +50,10 @@ from ..models.registry import build_model, model_cache_key
 from ..nn.module import Module
 from .backends import Backend, build_float_backend, build_int8_backend
 from .batcher import BatcherStats, DynamicBatcher
+from .pool import PoolStats, Priority, WorkerPool
 from .stream import StreamSession
 
-__all__ = ["BackendCache", "InferenceServer", "get_default_cache"]
+__all__ = ["BackendCache", "InferenceServer", "ServerStats", "get_default_cache"]
 
 _BACKENDS = ("float", "int8")
 
@@ -99,13 +118,19 @@ def get_default_cache() -> BackendCache:
     return _DEFAULT_CACHE
 
 
-@dataclass
+@dataclass(frozen=True)
 class ServerStats:
-    """Operational counters of one :class:`InferenceServer`."""
+    """Immutable snapshot of one :class:`InferenceServer`'s counters.
+
+    ``batcher`` (and ``pool``, when workers are attached) are themselves
+    frozen snapshots taken under their owners' locks, so holding a
+    ``ServerStats`` never aliases live mutable counter state.
+    """
 
     backend: str
     architecture: str
     batcher: BatcherStats
+    pool: Optional[PoolStats] = None
 
     @property
     def requests(self) -> int:
@@ -114,6 +139,11 @@ class ServerStats:
     @property
     def batches(self) -> int:
         return self.batcher.batches
+
+    @property
+    def by_priority(self) -> Mapping[int, int]:
+        """Completed requests per priority level (lower = more urgent)."""
+        return self.batcher.by_priority
 
 
 class InferenceServer:
@@ -139,6 +169,16 @@ class InferenceServer:
         ``cache`` when serving differently calibrated variants side by side.
     max_batch_size / max_wait_s:
         Micro-batching knobs (see :class:`~repro.serve.batcher.DynamicBatcher`).
+    num_workers:
+        Backend execution threads.  ``1`` (default) executes batches inline
+        on the forming thread; ``> 1`` creates a private
+        :class:`~repro.serve.pool.WorkerPool` so micro-batches run
+        concurrently (both backends release the GIL in their BLAS kernels).
+    pool:
+        An externally owned :class:`~repro.serve.pool.WorkerPool` to execute
+        on (e.g. one pool shared by several servers).  Mutually exclusive
+        with ``num_workers > 1``; a borrowed pool is never closed by the
+        server.
     cache:
         Backend cache to use; defaults to the process-wide cache.  Models
         passed as live ``Module`` objects are cached per object identity.
@@ -154,11 +194,17 @@ class InferenceServer:
         calibration: Optional[np.ndarray] = None,
         max_batch_size: int = 16,
         max_wait_s: float = 0.002,
+        num_workers: int = 1,
+        pool: Optional[WorkerPool] = None,
         cache: Optional[BackendCache] = None,
         lower_kwargs: Optional[Dict] = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got '{backend}'")
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if pool is not None and num_workers > 1:
+            raise ValueError("pass either num_workers or an external pool, not both")
         self.backend_name = backend
         self.cache = cache if cache is not None else get_default_cache()
         model_kwargs = dict(model_kwargs or {})
@@ -190,12 +236,27 @@ class InferenceServer:
 
         self.cache_key = key
         self.backend: Backend = self.cache.get_or_build(key, factory)
-        self.batcher = DynamicBatcher(
-            self.backend.run,
-            max_batch_size=max_batch_size,
-            max_wait_s=max_wait_s,
-            name=f"{self.architecture}-{backend}",
+        self._owns_pool = pool is None and num_workers > 1
+        self.pool = pool if pool is not None else (
+            WorkerPool(num_workers, name=f"{self.architecture}-{backend}-pool")
+            if num_workers > 1
+            else None
         )
+        try:
+            self.batcher = DynamicBatcher(
+                self.backend.run,
+                max_batch_size=max_batch_size,
+                max_wait_s=max_wait_s,
+                name=f"{self.architecture}-{backend}",
+                input_shape=self.backend.input_shape,
+                pool=self.pool,
+            )
+        except BaseException:
+            # Don't leak an owned pool's worker threads if the batcher
+            # rejects its knobs.
+            if self._owns_pool and self.pool is not None:
+                self.pool.close(timeout=1.0)
+            raise
 
     # ------------------------------------------------------------------ #
     # Inference API
@@ -208,33 +269,85 @@ class InferenceServer:
     def num_classes(self) -> int:
         return self.backend.num_classes
 
-    def submit(self, window: np.ndarray) -> Future:
+    def submit(
+        self,
+        window: np.ndarray,
+        priority: int = Priority.NORMAL,
+        deadline_s: Optional[float] = None,
+    ) -> Future:
         """Asynchronously classify one ``(channels, samples)`` window.
 
         Returns a future resolving to the ``(num_classes,)`` logits row.
+        ``priority`` orders batch formation (lower first); a request still
+        queued after ``deadline_s`` seconds resolves with
+        :class:`~repro.serve.pool.DeadlineExceeded`.
         """
         window = np.asarray(window, dtype=np.float64)
         if window.shape != self.input_shape:
             raise ValueError(
                 f"expected a window of shape {self.input_shape}, got {window.shape}"
             )
-        return self.batcher.submit(window)
+        return self.batcher.submit(window, priority=priority, deadline_s=deadline_s)
 
-    def infer(self, windows: Sequence[np.ndarray], timeout: Optional[float] = 60.0) -> np.ndarray:
-        """Classify windows through the micro-batching path; returns logits.
+    def infer_async(
+        self,
+        windows: Sequence[np.ndarray],
+        priority: int = Priority.LOW,
+        deadline_s: Optional[float] = None,
+    ) -> List[Future]:
+        """Submit ``windows`` without blocking; one future per window.
 
-        ``windows`` is ``(batch, channels, samples)`` (or a sequence of
-        single windows); the result preserves input order.
+        The bulk-scoring companion of :meth:`submit`: defaults to
+        :data:`Priority.LOW` so queued bulk work yields to live streams.
+        Consume in submission order by iterating, or in completion order
+        via :meth:`as_completed`.
         """
         windows = np.asarray(windows, dtype=np.float64)
         if windows.ndim == 2:
             windows = windows[None, ...]
-        futures = [self.submit(window) for window in windows]
+        return [
+            self.submit(window, priority=priority, deadline_s=deadline_s)
+            for window in windows
+        ]
+
+    @staticmethod
+    def as_completed(
+        futures: Iterable[Future], timeout: Optional[float] = None
+    ) -> Iterator[Future]:
+        """Yield ``futures`` as they finish (``concurrent.futures`` order)."""
+        return _as_completed(futures, timeout=timeout)
+
+    def infer(
+        self,
+        windows: Sequence[np.ndarray],
+        timeout: Optional[float] = 60.0,
+        priority: int = Priority.LOW,
+        deadline_s: Optional[float] = None,
+    ) -> np.ndarray:
+        """Classify windows through the micro-batching path; returns logits.
+
+        ``windows`` is ``(batch, channels, samples)`` (or a sequence of
+        single windows); the result preserves input order.  Zero windows is
+        a valid workload and yields an empty ``(0, num_classes)`` result.
+        """
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim == 2:
+            windows = windows[None, ...]
+        if windows.shape[0] == 0:
+            return np.empty((0, self.num_classes), dtype=np.float64)
+        futures = self.infer_async(windows, priority=priority, deadline_s=deadline_s)
         return np.stack([future.result(timeout=timeout) for future in futures])
 
-    def predict(self, windows: Sequence[np.ndarray], timeout: Optional[float] = 60.0) -> np.ndarray:
+    def predict(
+        self,
+        windows: Sequence[np.ndarray],
+        timeout: Optional[float] = 60.0,
+        priority: int = Priority.LOW,
+        deadline_s: Optional[float] = None,
+    ) -> np.ndarray:
         """Class indices for ``windows`` (micro-batched, order preserving)."""
-        return np.argmax(self.infer(windows, timeout=timeout), axis=-1)
+        logits = self.infer(windows, timeout=timeout, priority=priority, deadline_s=deadline_s)
+        return np.argmax(logits, axis=-1)
 
     def open_stream(
         self,
@@ -242,11 +355,22 @@ class InferenceServer:
         *,
         smoothing: int = 5,
         preprocessor: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        priority: int = Priority.HIGH,
+        deadline_s: Optional[float] = None,
     ) -> StreamSession:
-        """A :class:`StreamSession` classifying through this server."""
+        """A :class:`StreamSession` classifying through this server.
+
+        Stream windows classify at ``priority`` (default
+        :data:`Priority.HIGH`) so a live session's traffic is batched ahead
+        of queued bulk :meth:`infer` scoring.
+        """
         channels, samples = self.input_shape
+
+        def classify(windows: np.ndarray) -> np.ndarray:
+            return self.predict(windows, priority=priority, deadline_s=deadline_s)
+
         return StreamSession(
-            self.predict,
+            classify,
             window=samples,
             slide=slide,
             num_channels=channels,
@@ -258,16 +382,23 @@ class InferenceServer:
     # Lifecycle / introspection
     # ------------------------------------------------------------------ #
     @property
+    def num_workers(self) -> int:
+        return self.pool.num_workers if self.pool is not None else 1
+
+    @property
     def stats(self) -> ServerStats:
         return ServerStats(
             backend=self.backend_name,
             architecture=self.architecture,
             batcher=self.batcher.stats,
+            pool=self.pool.stats if self.pool is not None else None,
         )
 
     def close(self) -> None:
-        """Drain pending requests and stop the batching worker."""
+        """Drain pending requests and stop the batching worker (and pool)."""
         self.batcher.close()
+        if self._owns_pool and self.pool is not None:
+            self.pool.close()
 
     def __enter__(self) -> "InferenceServer":
         return self
@@ -278,5 +409,6 @@ class InferenceServer:
     def __repr__(self) -> str:
         return (
             f"InferenceServer(architecture='{self.architecture}', "
-            f"backend='{self.backend_name}', input={self.input_shape})"
+            f"backend='{self.backend_name}', input={self.input_shape}, "
+            f"workers={self.num_workers})"
         )

@@ -146,8 +146,14 @@ class StreamSession:
         return produced
 
     def run(self, signal: np.ndarray, chunk_size: int = 64) -> List[StreamDecision]:
-        """Stream a whole ``(channels, samples)`` recording in chunks."""
-        signal = np.asarray(signal)
+        """Stream a whole ``(channels, samples)`` recording in chunks.
+
+        A 1-D ``(samples,)`` signal is accepted for single-channel streams
+        (the same normalisation ``push``/``StreamWindower`` apply): it is
+        lifted to ``(1, samples)`` so chunking slices the time axis, never
+        the channel axis.
+        """
+        signal = np.atleast_2d(np.asarray(signal))
         produced: List[StreamDecision] = []
         for start in range(0, signal.shape[-1], chunk_size):
             produced.extend(self.push(signal[:, start : start + chunk_size]))

@@ -193,6 +193,73 @@ def test_cancelled_request_is_dropped_and_worker_survives():
     assert executed == {0, 1, 2, 3, 4, 5, 99} - cancelled_payloads
 
 
+def test_map_of_zero_windows_returns_empty_result():
+    """Regression: ``map([])`` used to crash in ``np.stack([])``."""
+    with DynamicBatcher(echo_batch) as batcher:
+        result = batcher.map([])
+    assert isinstance(result, np.ndarray)
+    assert result.shape[0] == 0
+
+
+def test_malformed_request_fails_alone_not_its_batchmates():
+    """Regression: one bad payload used to poison the whole micro-batch."""
+    backend = RecordingBackend(delay_s=0.01)
+    with DynamicBatcher(
+        backend, max_batch_size=8, max_wait_s=0.05, input_shape=(1,)
+    ) as batcher:
+        blocker = batcher.submit(np.array([0]))  # occupy the worker
+        good = [batcher.submit(np.array([i])) for i in range(1, 5)]
+        bad = batcher.submit(np.zeros((3, 3)))  # wrong shape, same batch
+        more_good = [batcher.submit(np.array([i])) for i in range(5, 8)]
+        with pytest.raises(ValueError, match="shape"):
+            bad.result(timeout=10.0)
+        results = [int(f.result(timeout=10.0)[0]) for f in [blocker] + good + more_good]
+    assert results == list(range(8))
+    assert batcher.stats.malformed == 1
+    assert batcher.stats.requests == 8
+
+
+def test_majority_shape_defines_reference_when_unconfigured():
+    """Without ``input_shape``, the batch's majority shape wins — a bad
+    payload landing *first* in its micro-batch still fails alone."""
+    backend = RecordingBackend()
+    # Cap 3 + a generous flush window: all three requests below land in one
+    # micro-batch (the cap fires as soon as the last one arrives).
+    with DynamicBatcher(backend, max_batch_size=3, max_wait_s=1.0) as batcher:
+        bad = batcher.submit(np.zeros((2, 2)))  # first of its batch, minority
+        good = [batcher.submit(np.array([float(i)])) for i in (1, 2)]
+        with pytest.raises(ValueError, match="shape"):
+            bad.result(timeout=10.0)
+        assert [int(f.result(timeout=10.0)[0]) for f in good] == [1, 2]
+    assert batcher.stats.malformed == 1
+
+
+def test_shape_tie_breaks_toward_earliest_submission():
+    backend = RecordingBackend()
+    with DynamicBatcher(backend, max_batch_size=2, max_wait_s=1.0) as batcher:
+        first = batcher.submit(np.zeros((2, 2)))
+        second = batcher.submit(np.array([1.0]))
+        assert first.result(timeout=10.0).shape == (2, 2)
+        with pytest.raises(ValueError, match="shape"):
+            second.result(timeout=10.0)
+
+
+def test_stats_is_an_immutable_snapshot():
+    """Regression: ``stats`` used to hand out the live mutable counters."""
+    with DynamicBatcher(echo_batch, max_batch_size=4, max_wait_s=0.01) as batcher:
+        batcher.map([np.array([i]) for i in range(6)], timeout=10.0)
+        before = batcher.stats
+        assert before is not batcher.stats  # fresh snapshot per read
+        with pytest.raises(AttributeError):
+            before.requests = 10_000  # frozen dataclass
+        with pytest.raises(TypeError):
+            before.by_priority[0] = 10_000  # read-only mapping
+        batcher.map([np.array([9])], timeout=10.0)
+        after = batcher.stats
+    assert before.requests == 6  # old snapshot unaffected by new traffic
+    assert after.requests == 7
+
+
 def test_map_returns_stacked_results_in_order():
     with DynamicBatcher(echo_batch, max_batch_size=4) as batcher:
         payloads = [np.array([float(i), float(-i)]) for i in range(10)]

@@ -12,7 +12,14 @@ import pytest
 from repro.deploy import IntegerGraphExecutor, lower_to_int8, trace_model
 from repro.models import build_model
 from repro.nn.tensor import Tensor
-from repro.serve import BackendCache, FloatBackend, InferenceServer, build_int8_backend
+from repro.serve import (
+    BackendCache,
+    FloatBackend,
+    InferenceServer,
+    Priority,
+    WorkerPool,
+    build_int8_backend,
+)
 
 ARCHITECTURES = ["bio1", "bio2", "temponet"]
 GEOMETRY = dict(num_channels=4, window_samples=60, seed=11)
@@ -166,3 +173,87 @@ class TestServerFacade:
     def test_rejects_unknown_backend(self):
         with pytest.raises(ValueError, match="backend must be one of"):
             InferenceServer("bio1", "fp16")
+
+    def test_infer_zero_windows_returns_empty_logits(self, cache):
+        """Regression: ``infer([])`` used to crash inside ``np.stack([])``."""
+        with InferenceServer(
+            "bio1", "float", patch_size=10, model_kwargs=GEOMETRY, cache=cache
+        ) as server:
+            logits = server.infer([])
+            assert logits.shape == (0, server.num_classes)
+            assert server.predict([]).shape == (0,)
+            assert server.infer(np.empty((0, 4, 60))).shape == (0, 8)
+
+    def test_rejects_non_positive_workers_and_pool_conflict(self, cache):
+        kwargs = dict(patch_size=10, model_kwargs=GEOMETRY, cache=cache)
+        with pytest.raises(ValueError, match="num_workers"):
+            InferenceServer("bio1", "float", num_workers=0, **kwargs)
+        with WorkerPool(num_workers=2) as pool:
+            with pytest.raises(ValueError, match="either num_workers or"):
+                InferenceServer("bio1", "float", num_workers=2, pool=pool, **kwargs)
+
+    def test_stats_snapshot_is_frozen(self, rng, cache):
+        with InferenceServer(
+            "bio1", "float", patch_size=10, model_kwargs=GEOMETRY, cache=cache
+        ) as server:
+            server.infer(rng.normal(size=(3, 4, 60)))
+            stats = server.stats
+            with pytest.raises(AttributeError):
+                stats.backend = "other"
+            with pytest.raises(AttributeError):
+                stats.batcher.requests = 0
+        assert stats.requests == 3
+
+
+# --------------------------------------------------------------------- #
+# Multi-worker pool execution and the async/priority surface
+# --------------------------------------------------------------------- #
+class TestPoolServing:
+    def test_pooled_server_matches_direct_forward_bitwise(self, rng, cache):
+        """Parity must survive concurrent batch execution on N workers."""
+        model = make_model("bio1")
+        x = rng.normal(size=(24, 4, 60))
+        expected = model(Tensor(x)).data
+        with InferenceServer(
+            model, "float", cache=cache, max_batch_size=4, max_wait_s=0.001, num_workers=4
+        ) as server:
+            assert server.num_workers == 4
+            served = server.infer(x)
+            pool_stats = server.stats.pool
+        np.testing.assert_array_equal(served, expected)
+        assert pool_stats is not None and pool_stats.jobs >= 1
+
+    def test_external_pool_is_borrowed_not_closed(self, rng, cache):
+        model = make_model("bio1")
+        with WorkerPool(num_workers=2, name="shared") as pool:
+            for _ in range(2):  # two servers share the same pool
+                with InferenceServer(
+                    model, "float", cache=cache, max_batch_size=4, pool=pool
+                ) as server:
+                    assert server.infer(rng.normal(size=(4, 4, 60))).shape == (4, 8)
+                assert not pool.closed
+            assert pool.stats.jobs >= 2
+
+    def test_infer_async_and_as_completed(self, rng, cache):
+        with InferenceServer(
+            "bio1", "float", patch_size=10, model_kwargs=GEOMETRY, cache=cache
+        ) as server:
+            x = rng.normal(size=(6, 4, 60))
+            futures = server.infer_async(x)
+            assert len(futures) == 6
+            done = list(server.as_completed(futures, timeout=30.0))
+            assert set(done) == set(futures)
+            ordered = np.stack([f.result(timeout=0) for f in futures])
+            np.testing.assert_array_equal(ordered, server.infer(x))
+
+    def test_per_priority_stats_split_stream_from_bulk(self, rng, cache):
+        with InferenceServer(
+            "bio1", "float", patch_size=10, model_kwargs=GEOMETRY, cache=cache
+        ) as server:
+            server.infer(rng.normal(size=(5, 4, 60)))  # bulk -> LOW
+            server.submit(
+                rng.normal(size=(4, 60)), priority=Priority.HIGH
+            ).result(timeout=30.0)
+            by_priority = server.stats.by_priority
+        assert by_priority[int(Priority.LOW)] == 5
+        assert by_priority[int(Priority.HIGH)] == 1

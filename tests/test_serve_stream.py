@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.data import StreamWindower, sliding_window_count, sliding_windows
-from repro.serve import InferenceServer, MajorityVoter, StreamSession
+from repro.serve import InferenceServer, MajorityVoter, Priority, StreamSession
 
 
 # --------------------------------------------------------------------- #
@@ -147,6 +147,18 @@ class TestStreamSession:
         assert seen["shape"] == (3, 2, 10)
         assert [d.label for d in decisions] == [0, 0, 0]
 
+    def test_run_accepts_1d_single_channel_signal(self):
+        """Regression: ``run`` sliced axis 0 of a 1-D signal (the channel
+        axis after ``push``'s lift), silently feeding wrong chunks."""
+        signal = np.arange(200.0)
+        flat = StreamSession(label_by_mean, window=20, slide=10, num_channels=1)
+        flat_decisions = flat.run(signal, chunk_size=33)
+        lifted = StreamSession(label_by_mean, window=20, slide=10, num_channels=1)
+        lifted_decisions = lifted.run(signal[None, :], chunk_size=33)
+        assert len(flat_decisions) == sliding_window_count(200, 20, 10)
+        assert flat.samples_seen == 200
+        assert [d.label for d in flat_decisions] == [d.label for d in lifted_decisions]
+
     def test_reset_clears_state(self):
         session = StreamSession(label_by_mean, window=10, slide=5, num_channels=1)
         session.push(np.ones((1, 25)))
@@ -169,3 +181,20 @@ class TestStreamSession:
         assert len(decisions) == sliding_window_count(400, 60, 15)
         assert all(0 <= d.label < 8 for d in decisions)
         assert all(0 <= d.smoothed_label < 8 for d in decisions)
+
+    def test_stream_classifies_at_high_priority(self):
+        rng = np.random.default_rng(19)
+        with InferenceServer(
+            "bio1",
+            "float",
+            patch_size=10,
+            model_kwargs=dict(num_channels=4, window_samples=60, seed=11),
+            max_batch_size=8,
+        ) as server:
+            session = server.open_stream(slide=30, smoothing=1)
+            session.run(rng.normal(size=(4, 240)), chunk_size=60)
+            by_priority = server.stats.by_priority
+        # Every stream window was served at HIGH priority, so a loaded
+        # server batches live sessions ahead of queued bulk scoring.
+        assert by_priority.get(int(Priority.HIGH), 0) == sliding_window_count(240, 60, 30)
+        assert int(Priority.LOW) not in by_priority
