@@ -15,8 +15,10 @@ host through :mod:`repro.serve`:
    while a bulk re-scoring job of the same windows runs concurrently at
    low priority (``infer_async``), so the live stream's high-priority
    windows preempt it in the micro-batch queue;
-4. repeat with the int8 backend — the GAP8 integer numerics — and compare
-   the decision streams.
+4. repeat with the int8 backend — the GAP8 integer numerics, served
+   through the LUT nonlinearity kernels (``lower_kwargs=dict(use_lut=...)``
+   toggles the op set; both are bit-identical, see docs/quantization.md) —
+   and compare the decision streams.
 
 The float server runs on a two-thread :class:`~repro.serve.WorkerPool`
 (``num_workers=2``), overlapping micro-batch formation with backend
@@ -119,8 +121,11 @@ def main() -> None:
             f"{stats.pool.num_workers} workers, {stats.pool.jobs} pool jobs)"
         )
 
-    # 4. Same stream through the int8 (GAP8 numerics) backend.
-    print("\n-- int8 backend -----------------------------------------------")
+    # 4. Same stream through the int8 (GAP8 numerics) backend.  use_lut=True
+    # (the default) serves the LUT-based integer softmax/GELU — the fast op
+    # set of the int8 path; use_lut=False would serve the legacy elementwise
+    # I-BERT kernels, bit-identical but slower when batched.
+    print("\n-- int8 backend (LUT nonlinearities) --------------------------")
     rng = np.random.default_rng(0)
     calibration = rng.normal(size=(16, config.num_channels, config.window_samples))
     with InferenceServer(
@@ -131,8 +136,30 @@ def main() -> None:
         calibration=calibration,
         cache=cache,
         max_batch_size=16,
+        lower_kwargs=dict(use_lut=True),
     ) as server:
+        print(f"  int8 backend uses LUT kernels: {server.backend.uses_lut}")
         int8_labels = run_stream(server, signal, slide=config.slide_samples)
+
+        # Cross-check the op sets: the elementwise variant (cached separately
+        # by its lowering options) must produce bit-identical logits.
+        probe = sliding_windows(
+            signal, window=config.window_samples, slide=config.slide_samples
+        )[:8]
+        with InferenceServer(
+            "bio1",
+            "int8",
+            patch_size=10,
+            model_kwargs=geometry,
+            calibration=calibration,
+            cache=cache,
+            lower_kwargs=dict(use_lut=False),
+        ) as elementwise:
+            exact = bool(
+                np.array_equal(server.infer(probe), elementwise.infer(probe))
+            )
+            print(f"  LUT vs elementwise op set on {len(probe)} windows: "
+                  f"{'bit-identical' if exact else 'MISMATCH'}")
 
     agreement = float(np.mean(float_labels == int8_labels))
     print(

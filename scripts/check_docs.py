@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Docs lint: every relative link in README.md and docs/ must resolve.
+
+Checks, with nothing but the standard library:
+
+* every markdown link/image target in README.md, docs/*.md, ROADMAP.md and
+  CHANGES.md that points at a repository path exists on disk (external
+  ``http(s)://`` / ``mailto:`` targets and pure ``#anchors`` are skipped);
+* intra-document anchors (``file.md#section``) resolve to a heading of the
+  target file, using GitHub's slug convention.
+
+Run from the repository root (CI does)::
+
+    python scripts/check_docs.py
+
+Exits non-zero listing every broken link.  Example sources are validated
+separately by ``python -m compileall`` in the CI docs job.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Markdown inline links/images: [text](target) — won't match code spans.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _heading_slugs(markdown: str) -> set:
+    """GitHub-style anchor slugs of every heading in ``markdown``."""
+    slugs = set()
+    for line in markdown.splitlines():
+        match = re.match(r"#{1,6}\s+(.*)", line)
+        if match:
+            title = re.sub(r"[`*_\[\]()]", "", match.group(1)).strip().lower()
+            slugs.add(re.sub(r"[^\w\- ]", "", title).replace(" ", "-"))
+    return slugs
+
+
+def check_file(path: Path) -> list:
+    """Return human-readable problems for every broken link in ``path``.
+
+    Link targets resolve relative to the containing file (GitHub's
+    rendering rule); root-absolute ``/docs/...`` targets are not supported.
+    """
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for target in _LINK.findall(text):
+        if target.startswith(_EXTERNAL):
+            continue
+        target, _, anchor = target.partition("#")
+        if not target:  # same-document anchor
+            if anchor and anchor not in _heading_slugs(text):
+                problems.append(f"{path}: broken anchor '#{anchor}'")
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: broken link '{target}'")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in _heading_slugs(resolved.read_text(encoding="utf-8")):
+                problems.append(f"{path}: broken anchor '{target}#{anchor}'")
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    required = [
+        root / "README.md",
+        root / "ROADMAP.md",
+        root / "CHANGES.md",
+        root / "docs" / "architecture.md",
+        root / "docs" / "quantization.md",
+    ]
+    documents = sorted(set(required) | set((root / "docs").glob("*.md")))
+    problems = [
+        f"{doc.relative_to(root)}: required document missing"
+        for doc in required
+        if not doc.exists()
+    ]
+    for document in documents:
+        if document.exists():
+            problems.extend(check_file(document))
+    if problems:
+        print("\n".join(problems))
+        print(f"\ndocs lint: {len(problems)} problem(s)")
+        return 1
+    print(f"docs lint: {len(documents)} document(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,13 +23,15 @@ compiled into C.  This package reproduces that flow on the host:
 
 from .codegen import CodeGenerator, GeneratedSource, generate_c_sources
 from .engine import FloatGraphExecutor
-from .graph import ComputeGraph, GraphNode, TensorSpec
+from .graph import LUT_OPERATORS, ComputeGraph, GraphNode, LookupTable, TensorSpec
 from .int_engine import IntegerGraphExecutor, requantize
 from .lowering import (
     ActivationQuantization,
     QuantizedConstant,
     QuantizedGraph,
     QuantizedNode,
+    build_gelu_lut,
+    build_softmax_exp_lut,
     lower_to_int8,
     quantize_multiplier,
 )
@@ -42,6 +44,10 @@ __all__ = [
     "TensorSpec",
     "GraphNode",
     "ComputeGraph",
+    "LookupTable",
+    "LUT_OPERATORS",
+    "build_gelu_lut",
+    "build_softmax_exp_lut",
     "trace_bioformer",
     "trace_temponet",
     "trace_model",

@@ -27,7 +27,14 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["OPERATORS", "TensorSpec", "GraphNode", "ComputeGraph"]
+__all__ = [
+    "OPERATORS",
+    "LUT_OPERATORS",
+    "LookupTable",
+    "TensorSpec",
+    "GraphNode",
+    "ComputeGraph",
+]
 
 
 #: Primitive operators understood by the executors, the tiler and the code
@@ -67,6 +74,94 @@ SHAPE_OPERATORS: Tuple[str, ...] = (
     "transpose",
     "select_token",
 )
+
+#: Non-linearities whose int8 lowering admits a precomputed lookup table.
+#: GELU is purely elementwise over the bounded int8 input grid, and the
+#: expensive part of the I-BERT softmax (the integer ``exp`` polynomial) is
+#: elementwise over the max-shifted grid — so for a fixed requantisation
+#: configuration each can be tabulated once at lowering time and executed as
+#: a single gather on the target.
+LUT_OPERATORS: Tuple[str, ...] = ("gelu", "softmax")
+
+
+@dataclass(frozen=True, eq=False)
+class LookupTable:
+    """A precomputed integer kernel over a bounded integer input domain.
+
+    The table maps every representable input value ``q`` in
+    ``[domain_min, domain_max]`` to ``values[q - domain_min]``.  Tables are
+    built at lowering time (:func:`repro.deploy.lowering.lower_to_int8`) by
+    evaluating the legacy elementwise integer kernel over the full domain,
+    so executing a table is bit-identical to the arithmetic it replaces *by
+    construction* — the exhaustive-domain tests pin this independently.
+
+    Attributes
+    ----------
+    op:
+        The elementwise computation the table implements (``"gelu"`` for the
+        fused GELU + requantisation, ``"exp"`` for the softmax numerator).
+    domain_min, domain_max:
+        Inclusive bounds of the representable input grid.
+    values:
+        Integer output for every domain value, ``domain_max - domain_min + 1``
+        entries.
+    dtype:
+        Storage class of the entries on the target (``"int8"`` / ``"int32"``).
+    config:
+        Diagnostic identity of the requantisation configuration the table
+        was built for (``(scale, zero_point, ...)``-style tuples) — shown
+        when inspecting a lowered graph, so two tables can be told apart by
+        the configuration that produced them.
+    """
+
+    op: str
+    domain_min: int
+    domain_max: int
+    values: np.ndarray
+    dtype: str = "int32"
+    config: Tuple = ()
+
+    def __post_init__(self) -> None:
+        expected = self.domain_max - self.domain_min + 1
+        if self.values.shape != (expected,):
+            raise ValueError(
+                f"LUT for '{self.op}' needs {expected} entries for domain "
+                f"[{self.domain_min}, {self.domain_max}], got {self.values.shape}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of table entries."""
+        return int(self.values.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint of the table on the target."""
+        per_element = {"int8": 1, "int32": 4}[self.dtype]
+        return self.size * per_element
+
+    def take(self, q: np.ndarray) -> np.ndarray:
+        """Gather table outputs for integer inputs ``q`` (one vectorised take).
+
+        Inputs outside the domain raise instead of silently gathering from
+        the wrong end of the table (``np.take`` would accept a negative
+        index Python-style): every in-graph producer clips to the
+        activation grid, so an out-of-domain value is a lowering bug, not
+        a value to guess at.
+        """
+        indices = np.asarray(q) - self.domain_min
+        if indices.size and (indices.min() < 0 or indices.max() >= self.size):
+            raise ValueError(
+                f"input outside the [{self.domain_min}, {self.domain_max}] "
+                f"domain of the '{self.op}' lookup table"
+            )
+        return np.take(self.values, indices)
+
+    def __repr__(self) -> str:
+        return (
+            f"LookupTable(op='{self.op}', domain=[{self.domain_min}, "
+            f"{self.domain_max}], entries={self.size}, dtype='{self.dtype}')"
+        )
 
 
 @dataclass(frozen=True)

@@ -5,6 +5,15 @@ GAP8 cluster: int8 activations and weights, int32 accumulators, fixed-point
 requantisation between kernels, and I-BERT integer approximations for the
 transformer non-linearities (softmax, GELU, LayerNorm).
 
+When the lowered graph carries precomputed lookup tables
+(:class:`~repro.deploy.graph.LookupTable`, emitted by ``lower_to_int8`` by
+default), the GELU and softmax-``exp`` nonlinearities execute as a single
+vectorised ``np.take`` instead of replaying the I-BERT polynomials per
+element.  Both paths are bit-identical over the full representable input
+domain (the tables are built from the elementwise kernels, and the
+test-suite pins the equality exhaustively); ``use_lut=False`` forces the
+legacy elementwise path for cross-checking.
+
 The executor is an *emulator*: it exists so the quantised accuracy reported
 in Table I, the generated weights and the requantisation constants can all
 be validated end-to-end on the host before any code ever reaches the MCU —
@@ -57,11 +66,30 @@ def requantize(
 
 
 class IntegerGraphExecutor:
-    """Executes a :class:`QuantizedGraph` with integer-only arithmetic."""
+    """Executes a :class:`QuantizedGraph` with integer-only arithmetic.
 
-    def __init__(self, quantized: QuantizedGraph) -> None:
+    Parameters
+    ----------
+    quantized:
+        The int8-lowered graph to replay.
+    use_lut:
+        ``None`` (default) runs each nonlinearity through its precomputed
+        lookup table whenever the lowered node carries one, falling back to
+        the elementwise I-BERT kernels otherwise.  ``False`` forces the
+        legacy elementwise path even when tables are present (the
+        cross-checking baseline); ``True`` behaves like ``None`` — a graph
+        lowered with ``use_lut=False`` simply has no tables to use.
+    """
+
+    def __init__(self, quantized: QuantizedGraph, use_lut: Optional[bool] = None) -> None:
         self.quantized = quantized
         self.graph = quantized.graph
+        self.use_lut = use_lut is None or bool(use_lut)
+
+    @property
+    def uses_luts(self) -> bool:
+        """Whether any node will execute through a lookup table."""
+        return self.use_lut and self.quantized.uses_luts
 
     # ------------------------------------------------------------------ #
     # Helpers
@@ -144,12 +172,27 @@ class IntegerGraphExecutor:
             return self._requant_to(np.maximum(q_x, 0).astype(np.int64), in_scale, out_name)
 
         if op == "gelu":
+            table = lowered.luts.get("gelu") if self.use_lut else None
+            if table is not None:
+                # The table already fuses the polynomial and the output
+                # requantisation: one gather per element.
+                return table.take(q_x).astype(np.int32)
             q_out, gelu_scale = ibert.integer_gelu(q_x.astype(np.int64), in_scale)
             return self._requant_to(q_out, gelu_scale, out_name)
 
         if op == "softmax":
+            axis = int(node.attrs.get("axis", -1))
+            table = lowered.luts.get("exp") if self.use_lut else None
+            if table is not None:
+                q = q_x.astype(np.int64)
+                shifted = q - q.max(axis=axis, keepdims=True)
+                q_exp = table.take(shifted)
+                total = np.maximum(q_exp.sum(axis=axis, keepdims=True), 1)
+                factor = np.int64(1) << ibert.SOFTMAX_OUTPUT_BITS
+                q_out = (q_exp * factor) // total
+                return self._requant_to(q_out, 1.0 / float(factor), out_name)
             q_out, softmax_scale = ibert.integer_softmax(
-                q_x.astype(np.int64), in_scale, axis=int(node.attrs.get("axis", -1))
+                q_x.astype(np.int64), in_scale, axis=axis
             )
             return self._requant_to(q_out, softmax_scale, out_name)
 

@@ -27,9 +27,10 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..quant import ibert
 from ..quant.quantizers import QuantizationSpec, compute_scale_zero_point, quantize
 from .engine import FloatGraphExecutor
-from .graph import ComputeGraph, GraphNode
+from .graph import LUT_OPERATORS, ComputeGraph, GraphNode, LookupTable
 
 __all__ = [
     "ActivationQuantization",
@@ -37,6 +38,8 @@ __all__ = [
     "QuantizedNode",
     "QuantizedGraph",
     "quantize_multiplier",
+    "build_gelu_lut",
+    "build_softmax_exp_lut",
     "lower_to_int8",
 ]
 
@@ -111,11 +114,20 @@ class QuantizedNode:
     constants: Dict[str, QuantizedConstant] = field(default_factory=dict)
     #: Requantisation multiplier/shift pairs keyed by role (usually "output").
     requantizers: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: Precomputed lookup tables keyed by role (``"gelu"``, ``"exp"``); only
+    #: populated for :data:`~repro.deploy.graph.LUT_OPERATORS` nodes when the
+    #: graph was lowered with ``use_lut=True``.
+    luts: Dict[str, LookupTable] = field(default_factory=dict)
 
     @property
     def weight_bytes(self) -> int:
-        """Total constant bytes of this node."""
+        """Total constant bytes of this node (excluding lookup tables)."""
         return sum(constant.nbytes for constant in self.constants.values())
+
+    @property
+    def lut_bytes(self) -> int:
+        """Total lookup-table bytes of this node on the target."""
+        return sum(table.nbytes for table in self.luts.values())
 
 
 @dataclass
@@ -147,6 +159,16 @@ class QuantizedGraph:
         return sum(node.weight_bytes for node in self.nodes.values())
 
     @property
+    def total_lut_bytes(self) -> int:
+        """Total lookup-table storage of the lowered graph."""
+        return sum(node.lut_bytes for node in self.nodes.values())
+
+    @property
+    def uses_luts(self) -> bool:
+        """Whether any node carries a precomputed lookup table."""
+        return any(node.luts for node in self.nodes.values())
+
+    @property
     def weight_kilobytes(self) -> float:
         """Constant storage in kB (comparable to the paper's Memory column)."""
         return self.total_weight_bytes / 1024.0
@@ -175,12 +197,64 @@ def _quantize_weight(values: np.ndarray, spec: QuantizationSpec) -> QuantizedCon
     return QuantizedConstant(values=integer, scale=float(scale), dtype="int8")
 
 
+# --------------------------------------------------------------------- #
+# Lookup-table construction (I-BERT nonlinearities over bounded domains)
+# --------------------------------------------------------------------- #
+def build_gelu_lut(
+    in_act: ActivationQuantization, out_act: ActivationQuantization
+) -> LookupTable:
+    """Tabulate the fused integer GELU + requantisation kernel.
+
+    GELU consumes the requantised int8 grid directly, so the whole node —
+    I-BERT's sign-decomposed polynomial followed by the fixed-point
+    requantisation to the output scale — is a pure function of one int8
+    value.  The table is built by evaluating exactly that legacy elementwise
+    chain over every representable input, which makes LUT execution
+    bit-identical over the full domain by construction.
+    """
+    from .int_engine import requantize  # local import: int_engine imports us
+
+    domain = np.arange(in_act.qmin, in_act.qmax + 1, dtype=np.int64)
+    q_out, gelu_scale = ibert.integer_gelu(domain, in_act.scale)
+    values = requantize(q_out, gelu_scale / out_act.scale, out_act.qmin, out_act.qmax)
+    return LookupTable(
+        op="gelu",
+        domain_min=in_act.qmin,
+        domain_max=in_act.qmax,
+        values=values.astype(np.int32),
+        dtype="int8",
+        config=(float(in_act.scale), float(out_act.scale), 0),
+    )
+
+
+def build_softmax_exp_lut(in_act: ActivationQuantization) -> LookupTable:
+    """Tabulate the integer ``exp`` of the softmax numerator.
+
+    The I-BERT softmax first subtracts the row maximum, so the polynomial
+    ``exp`` only ever sees values in ``[qmin - qmax, 0]`` — one table entry
+    per representable shifted input.  The row-wise sum, the fixed-point
+    normalisation to ``2**-SOFTMAX_OUTPUT_BITS`` and the output
+    requantisation stay exact integer arithmetic in the executor.
+    """
+    domain = np.arange(in_act.qmin - in_act.qmax, 1, dtype=np.int64)
+    values, _ = ibert.integer_exp(domain, in_act.scale)
+    return LookupTable(
+        op="exp",
+        domain_min=int(domain[0]),
+        domain_max=0,
+        values=values.astype(np.int64),
+        dtype="int32",
+        config=(float(in_act.scale), 0, ibert.SOFTMAX_OUTPUT_BITS),
+    )
+
+
 def lower_to_int8(
     graph: ComputeGraph,
     calibration_inputs: np.ndarray,
     weight_bits: int = 8,
     activation_bits: int = 8,
     calibration_percentile: float = 99.9,
+    use_lut: bool = True,
 ) -> QuantizedGraph:
     """Quantise a traced graph to int8 using a calibration batch.
 
@@ -198,11 +272,20 @@ def lower_to_int8(
         Percentile of ``|activation|`` covered by the activation scale;
         clipping a tiny tail of outliers (99.9 by default) is standard
         practice and measurably improves post-training accuracy.
+    use_lut:
+        Tabulate the I-BERT GELU and softmax-``exp`` nonlinearities into
+        per-configuration lookup tables (:class:`~repro.deploy.graph.LookupTable`)
+        so the integer executor and the generated kernels run them as a
+        single gather.  The tables are built from the legacy elementwise
+        kernels over the full input domain, so results are bit-identical
+        either way; pass ``False`` to keep the lowered graph on the
+        elementwise path (the cross-checking baseline).
 
     Returns
     -------
     A :class:`QuantizedGraph` bundling the original graph, the per-tensor
-    activation scales, the integer constants and the requantisation factors.
+    activation scales, the integer constants, the requantisation factors and
+    (by default) the nonlinearity lookup tables.
     """
     executor = FloatGraphExecutor(graph)
     recorded = executor.run_recording(calibration_inputs)
@@ -276,6 +359,13 @@ def lower_to_int8(
             lowered.requantizers["output"] = quantize_multiplier(
                 max(input_scale / output_scale, 1e-30)
             )
+            if use_lut and node.op in LUT_OPERATORS:
+                in_act = activations[node.inputs[0]]
+                out_act = activations[node.output.name]
+                if node.op == "gelu":
+                    lowered.luts["gelu"] = build_gelu_lut(in_act, out_act)
+                else:
+                    lowered.luts["exp"] = build_softmax_exp_lut(in_act)
             if node.op == "layernorm":
                 # LayerNorm keeps its affine parameters in float; they are a
                 # negligible 2*C values folded into the requantisation step.

@@ -114,14 +114,23 @@ class GraphDeploymentReport:
         return self.quantized.weight_kilobytes
 
     @property
+    def lut_kilobytes(self) -> float:
+        """Nonlinearity lookup-table storage in kB (0 without ``use_lut``)."""
+        return self.quantized.total_lut_bytes / 1024.0
+
+    @property
     def activation_kilobytes(self) -> float:
         """Peak activation arena in kB."""
         return self.memory_plan.peak_bytes / 1024.0
 
     @property
     def total_l2_kilobytes(self) -> float:
-        """Weights plus peak activations (what must fit the 512 kB L2)."""
-        return self.weight_kilobytes + self.activation_kilobytes
+        """Weights + LUTs + peak activations (what must fit the 512 kB L2).
+
+        The lookup tables ship in ``weights.h`` alongside the constants, so
+        they count against L2 exactly like weights do.
+        """
+        return self.weight_kilobytes + self.lut_kilobytes + self.activation_kilobytes
 
     @property
     def fits_l2(self) -> bool:
@@ -145,6 +154,7 @@ class GraphDeploymentReport:
         """Human-readable deployment report."""
         rows = [
             ("weights (int8)", f"{self.weight_kilobytes:.1f} kB"),
+            ("nonlinearity LUTs", f"{self.lut_kilobytes:.1f} kB"),
             ("peak activations", f"{self.activation_kilobytes:.1f} kB"),
             ("total L2", f"{self.total_l2_kilobytes:.1f} kB"),
             ("fits 512 kB L2", "yes" if self.fits_l2 else "NO"),
@@ -180,6 +190,7 @@ def deploy_graph(
     inference_period_s: Optional[float] = 15e-3,
     weight_bits: int = 8,
     activation_bits: int = 8,
+    use_lut: bool = True,
     generate_code: bool = True,
 ) -> GraphDeploymentReport:
     """Run the full graph-level deployment pipeline for a trained model.
@@ -201,6 +212,11 @@ def deploy_graph(
         the paper); ``None`` skips the projection.
     weight_bits, activation_bits:
         Quantisation precision (8/8 in the paper).
+    use_lut:
+        Lower the I-BERT GELU/softmax nonlinearities into lookup tables
+        (default; bit-identical to the elementwise kernels, and what the
+        int8 serving path runs).  ``False`` keeps the legacy elementwise
+        op set in the lowered graph and the generated C schedule.
     generate_code:
         Whether to run the C code generator and attach the sources.
     """
@@ -212,6 +228,7 @@ def deploy_graph(
         calibration_inputs,
         weight_bits=weight_bits,
         activation_bits=activation_bits,
+        use_lut=use_lut,
     )
     memory_plan = plan_activation_memory(graph)
     tiling_plan = plan_tiling(graph, tiling)

@@ -24,6 +24,7 @@ from typing import Tuple
 import numpy as np
 
 __all__ = [
+    "SOFTMAX_OUTPUT_BITS",
     "integer_polynomial",
     "integer_erf",
     "integer_gelu",
@@ -32,6 +33,12 @@ __all__ = [
     "integer_sqrt",
     "integer_layernorm",
 ]
+
+#: Fraction bits of the fixed-point softmax output grid: probabilities are
+#: returned as integers with scale ``2**-SOFTMAX_OUTPUT_BITS``.  Shared with
+#: the LUT-based softmax kernel in :mod:`repro.deploy.int_engine`, which must
+#: reproduce this normalisation bit for bit.
+SOFTMAX_OUTPUT_BITS = 15
 
 
 def integer_polynomial(
@@ -112,7 +119,7 @@ def integer_softmax(q: np.ndarray, scale: float, axis: int = -1) -> Tuple[np.nda
     Returns integer probabilities ``q_out`` with scale ``2**-bits`` such that
     ``q_out * scale_out`` sums to (approximately) one along ``axis``.
     """
-    output_bits = 15
+    output_bits = SOFTMAX_OUTPUT_BITS
     q = q.astype(np.int64)
     q_shifted = q - q.max(axis=axis, keepdims=True)
     q_exp, scale_exp = integer_exp(q_shifted, scale)

@@ -10,7 +10,11 @@ inference paths the repository already validates end-to-end:
 * :class:`Int8Backend` — the lowered :class:`~repro.deploy.lowering.QuantizedGraph`
   replayed by :class:`~repro.deploy.int_engine.IntegerGraphExecutor`, i.e.
   the GAP8 integer numerics.  Its logits are the dequantised int8 grid, so
-  serving accuracy equals the deployment-report accuracy.
+  serving accuracy equals the deployment-report accuracy.  By default the
+  executor runs the I-BERT GELU/softmax nonlinearities through precomputed
+  lookup tables (bit-identical to the elementwise kernels, measurably
+  faster on batched serving); ``use_lut=False`` keeps the legacy
+  elementwise path for cross-checking.
 
 Both expose the same :class:`Backend` protocol, which is what
 :class:`repro.serve.server.InferenceServer` and the
@@ -52,6 +56,7 @@ class Backend(Protocol):
 
     @property
     def num_classes(self) -> int:
+        """Number of gesture classes in the logits."""
         ...
 
     def run(self, windows: np.ndarray) -> np.ndarray:
@@ -79,13 +84,16 @@ class FloatBackend:
 
     @property
     def input_shape(self) -> Tuple[int, int]:
+        """Expected per-window shape ``(channels, samples)``."""
         return (self._channels, self._samples)
 
     @property
     def num_classes(self) -> int:
+        """Number of gesture classes in the logits."""
         return self._classes
 
     def run(self, windows: np.ndarray) -> np.ndarray:
+        """Float logits for ``(batch, channels, samples)`` windows."""
         windows = np.asarray(windows, dtype=np.float64)
         if windows.ndim == 2:
             windows = windows[None, ...]
@@ -93,6 +101,7 @@ class FloatBackend:
             return self.model(windows).data
 
     def predict(self, windows: np.ndarray) -> np.ndarray:
+        """Class indices (argmax over :meth:`run`)."""
         return np.argmax(self.run(windows), axis=-1)
 
     def __repr__(self) -> str:
@@ -100,26 +109,40 @@ class FloatBackend:
 
 
 class Int8Backend:
-    """Integer-only replay of a lowered graph (the on-target numerics)."""
+    """Integer-only replay of a lowered graph (the on-target numerics).
+
+    ``use_lut=None`` (default) executes the nonlinearities through the
+    lookup tables carried by the lowered graph, when present; ``False``
+    forces the legacy elementwise I-BERT kernels.  Outputs are bit-identical
+    either way.
+    """
 
     name = "int8"
 
-    def __init__(self, quantized: QuantizedGraph) -> None:
+    def __init__(self, quantized: QuantizedGraph, use_lut: Optional[bool] = None) -> None:
         self.quantized = quantized
-        self.executor = IntegerGraphExecutor(quantized)
+        self.executor = IntegerGraphExecutor(quantized, use_lut=use_lut)
         graph = quantized.graph
         self._input_shape = tuple(int(size) for size in graph.graph_input.shape)
         self._classes = int(graph.output.shape[-1])
 
     @property
     def input_shape(self) -> Tuple[int, int]:
+        """Expected per-window shape ``(channels, samples)``."""
         return self._input_shape  # type: ignore[return-value]
 
     @property
     def num_classes(self) -> int:
+        """Number of gesture classes in the logits."""
         return self._classes
 
+    @property
+    def uses_lut(self) -> bool:
+        """Whether the nonlinearities execute through lookup tables."""
+        return self.executor.uses_luts
+
     def run(self, windows: np.ndarray) -> np.ndarray:
+        """Dequantised float logits for ``(batch, channels, samples)`` windows."""
         return self.executor.run(windows)
 
     def run_integer(self, windows: np.ndarray) -> np.ndarray:
@@ -127,10 +150,14 @@ class Int8Backend:
         return self.executor.run_integer(windows)
 
     def predict(self, windows: np.ndarray) -> np.ndarray:
+        """Class indices of the integer-only inference path."""
         return self.executor.predict(windows)
 
     def __repr__(self) -> str:
-        return f"Int8Backend(graph='{self.quantized.graph.name}', input={self.input_shape})"
+        return (
+            f"Int8Backend(graph='{self.quantized.graph.name}', "
+            f"input={self.input_shape}, lut={self.uses_lut})"
+        )
 
 
 def build_float_backend(model: Module) -> FloatBackend:
@@ -144,6 +171,7 @@ def build_int8_backend(
     *,
     calibration_batch: int = 16,
     seed: int = 0,
+    use_lut: bool = True,
     **lower_kwargs,
 ) -> Int8Backend:
     """Trace, calibrate and lower ``model``, then wrap the integer engine.
@@ -152,11 +180,19 @@ def build_int8_backend(
     windows; when omitted, a deterministic standard-normal batch is used
     (adequate for the synthetic data distribution, and reproducible so the
     backend cache stays consistent across processes).
+
+    ``use_lut`` selects the nonlinearity op set: ``True`` (default) lowers
+    the I-BERT GELU/softmax into precomputed lookup tables and executes them
+    as a single gather; ``False`` keeps the legacy elementwise kernels.
+    Both produce bit-identical logits — the flag exists so either path can
+    cross-check the other.
     """
     graph = trace_model(model.eval())
     if calibration is None:
         rng = np.random.default_rng(seed)
         channels, samples, _ = _model_geometry(model)
         calibration = rng.normal(size=(calibration_batch, channels, samples))
-    quantized = lower_to_int8(graph, np.asarray(calibration, dtype=np.float64), **lower_kwargs)
-    return Int8Backend(quantized)
+    quantized = lower_to_int8(
+        graph, np.asarray(calibration, dtype=np.float64), use_lut=use_lut, **lower_kwargs
+    )
+    return Int8Backend(quantized, use_lut=use_lut)

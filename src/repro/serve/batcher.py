@@ -76,6 +76,7 @@ class BatcherStats:
 
     @property
     def mean_batch(self) -> float:
+        """Average number of windows per formed micro-batch."""
         return self.requests / self.batches if self.batches else 0.0
 
 
@@ -262,6 +263,7 @@ class DynamicBatcher:
 
     @property
     def closed(self) -> bool:
+        """Whether :meth:`close` has been called (no new submissions)."""
         return self._closed
 
     def __enter__(self) -> "DynamicBatcher":

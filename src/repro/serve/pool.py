@@ -66,6 +66,7 @@ class PoolStats:
 
     @property
     def busiest_worker(self) -> int:
+        """Jobs executed by the most-loaded worker."""
         return max(self.per_worker) if self.per_worker else 0
 
 
@@ -138,10 +139,12 @@ class WorkerPool:
 
     @property
     def closed(self) -> bool:
+        """Whether :meth:`close` has been called (no new submissions)."""
         return self._closed
 
     @property
     def stats(self) -> PoolStats:
+        """Frozen snapshot of the pool's job counters."""
         with self._lock:
             return PoolStats(
                 num_workers=self.num_workers,

@@ -18,10 +18,11 @@ gesture-recognition service needs:
   queued bulk scoring.
 
 Backends are constructed through a process-wide cache keyed by
-``(architecture, patch_size, backend)`` (plus the full registry kwargs), so
-many concurrent sessions of the same deployed architecture share one
-model/executor — the serving analogue of the deploy toolchain's one-binary-
-many-inferences model.
+``(architecture, patch_size, backend, lowering variant)`` (plus the full
+registry kwargs), so many concurrent sessions of the same deployed
+architecture share one model/executor — the serving analogue of the deploy
+toolchain's one-binary-many-inferences model — while int8 op-set variants
+(LUT vs elementwise nonlinearities) stay distinct.
 """
 
 from __future__ import annotations
@@ -61,9 +62,11 @@ _BACKENDS = ("float", "int8")
 class BackendCache:
     """LRU cache of constructed serving backends.
 
-    Keys are ``(model_cache_key(architecture, **kwargs), backend)`` tuples:
-    two servers asking for the same architecture / patch size / backend get
-    the *same* backend object (same weights, same quantisation constants).
+    Keys are ``(model_cache_key(architecture, **kwargs), backend,
+    lowering variant)`` tuples: two servers asking for the same
+    architecture / patch size / backend / lowering options get the *same*
+    backend object (same weights, same quantisation constants, same op
+    set).
     """
 
     def __init__(self, max_entries: int = 16) -> None:
@@ -76,6 +79,7 @@ class BackendCache:
         self.misses = 0
 
     def get_or_build(self, key: Tuple, factory: Callable[[], Backend]) -> Backend:
+        """Return the cached backend for ``key``, building it on first use."""
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -104,6 +108,7 @@ class BackendCache:
             return key in self._entries
 
     def clear(self) -> None:
+        """Drop every cached backend and reset the hit/miss counters."""
         with self._lock:
             self._entries.clear()
             self.hits = 0
@@ -134,10 +139,12 @@ class ServerStats:
 
     @property
     def requests(self) -> int:
+        """Total windows served (across all priorities)."""
         return self.batcher.requests
 
     @property
     def batches(self) -> int:
+        """Micro-batches the batcher formed."""
         return self.batcher.batches
 
     @property
@@ -167,6 +174,14 @@ class InferenceServer:
         Representative windows for int8 lowering (int8 backend only).
         Calibration is *not* part of the cache key; pass a dedicated
         ``cache`` when serving differently calibrated variants side by side.
+    lower_kwargs:
+        Extra :func:`~repro.deploy.lowering.lower_to_int8` arguments for the
+        int8 backend (``use_lut``, ``weight_bits``, ``activation_bits``,
+        ...).  Pass ``lower_kwargs={"use_lut": False}`` to serve the legacy
+        elementwise nonlinearities instead of the LUT kernels (the
+        cross-checking baseline).  Unlike calibration, ``lower_kwargs`` *is*
+        part of the cache key, so LUT and elementwise variants of the same
+        architecture are cached side by side.
     max_batch_size / max_wait_s:
         Micro-batching knobs (see :class:`~repro.serve.batcher.DynamicBatcher`).
     num_workers:
@@ -211,10 +226,19 @@ class InferenceServer:
         if patch_size is not None:
             model_kwargs["patch_size"] = patch_size
         lower_kwargs = dict(lower_kwargs or {})
+        # Lowering options change the served numerics' implementation (LUT
+        # vs elementwise op set, bit widths), so they are part of the cache
+        # identity — unlike calibration data, which is not hashable.  The
+        # key is normalised against the lowering default for the op-set
+        # flag, so an explicit use_lut=True and the default share one entry.
+        lowering_variant: Tuple = ()
+        if backend == "int8":
+            effective = {"use_lut": True, **lower_kwargs}
+            lowering_variant = tuple(sorted(effective.items()))
 
         if isinstance(model, str):
             self.architecture = model.lower()
-            key = (model_cache_key(model, **model_kwargs), backend)
+            key = (model_cache_key(model, **model_kwargs), backend, lowering_variant)
 
             def factory() -> Backend:
                 built = build_model(self.architecture, **model_kwargs).eval()
@@ -227,7 +251,7 @@ class InferenceServer:
             # Key on the module object itself (identity hash): holding it in
             # the cache key pins the model alive, so a recycled id() can
             # never alias a dead model's cached backend.
-            key = (("module", model), backend)
+            key = (("module", model), backend, lowering_variant)
 
             def factory() -> Backend:
                 if backend == "float":
@@ -263,10 +287,12 @@ class InferenceServer:
     # ------------------------------------------------------------------ #
     @property
     def input_shape(self) -> Tuple[int, int]:
+        """Expected per-window shape ``(channels, samples)``."""
         return self.backend.input_shape
 
     @property
     def num_classes(self) -> int:
+        """Number of gesture classes in the logits."""
         return self.backend.num_classes
 
     def submit(
@@ -383,10 +409,12 @@ class InferenceServer:
     # ------------------------------------------------------------------ #
     @property
     def num_workers(self) -> int:
+        """Backend execution threads (1 = inline on the forming thread)."""
         return self.pool.num_workers if self.pool is not None else 1
 
     @property
     def stats(self) -> ServerStats:
+        """Frozen snapshot of the server's batcher (and pool) counters."""
         return ServerStats(
             backend=self.backend_name,
             architecture=self.architecture,

@@ -49,10 +49,12 @@ class MajorityVoter:
         return min(candidate for candidate, count in counts.items() if count == best)
 
     def reset(self) -> None:
+        """Forget the voting history (e.g. between recordings)."""
         self._recent.clear()
 
     @property
     def recent(self) -> List[int]:
+        """The raw labels currently inside the voting window."""
         return list(self._recent)
 
 
@@ -106,10 +108,12 @@ class StreamSession:
     # ------------------------------------------------------------------ #
     @property
     def samples_seen(self) -> int:
+        """Total raw samples pushed into the session so far."""
         return self.windower.samples_seen
 
     @property
     def windows_classified(self) -> int:
+        """Number of windows classified (and decisions recorded) so far."""
         return len(self.decisions)
 
     @property
