@@ -27,8 +27,19 @@ kernels must cut the nonlinearity time decisively at kernel level, and the
 batched int8 path (batch >= 8) must come out faster than the elementwise
 baseline end to end (bit-identical logits either way — the comparison is
 purely about speed).
+
+The GEMM benchmark gates the batched-integer-GEMM PR: with the MAC ops
+(conv1d via im2col, linear, attention matmul) running as one whole-batch
+integer GEMM per node, batch >= 8 int8 inference must beat the per-op
+einsum baseline (again bit-identical logits — only the schedule differs).
+
+Every run also appends its headline throughput numbers to
+``BENCH_serving.json`` at the repository root, so later PRs can gate
+against the recorded latency/throughput trajectory instead of a single
+fragile absolute number.
 """
 
+import json
 import os
 import time
 
@@ -52,6 +63,52 @@ GEOMETRY = dict(num_channels=4, window_samples=60, seed=11)
 NUM_WINDOWS = 96
 BATCH_CAPS = (1, 16, 64)
 WORKER_COUNTS = (1, 2, 4)
+
+#: Headline metrics accumulated by the benchmarks in this module and
+#: appended to BENCH_serving.json (one trajectory entry per pytest run).
+_BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_serving.json"
+)
+_BENCH_HISTORY_CAP = 100
+_bench_metrics: dict = {}
+
+
+def record_bench(name: str, **metrics) -> None:
+    """Stash ``metrics`` (windows/s, speedups) under ``name`` for the dump."""
+    _bench_metrics[name] = {
+        key: round(float(value), 3) for key, value in metrics.items()
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_trajectory():
+    """Append this run's metrics to the BENCH_serving.json trajectory."""
+    yield
+    if not _bench_metrics:
+        return
+    history = []
+    if os.path.exists(_BENCH_PATH):
+        try:
+            with open(_BENCH_PATH, "r", encoding="utf-8") as handle:
+                history = json.load(handle).get("history", [])
+        except (json.JSONDecodeError, OSError):
+            history = []  # a corrupt trajectory must never fail the suite
+    history.append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "geometry": GEOMETRY,
+            "num_windows": NUM_WINDOWS,
+            "metrics": dict(sorted(_bench_metrics.items())),
+        }
+    )
+    payload = {
+        "description": "Serving latency/throughput trajectory "
+        "(benchmarks/test_serving_throughput.py); newest entry last.",
+        "history": history[-_BENCH_HISTORY_CAP:],
+    }
+    with open(_BENCH_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="module")
@@ -110,6 +167,10 @@ def test_float_backend_batching_speedup(model, windows, cache):
         for cap in BATCH_CAPS
     ]
     report("Serving throughput — float backend (bio2, 4ch x 60smp)", _render(rows))
+    record_bench(
+        "float_serving",
+        **{f"cap{cap}_windows_per_s": results[cap][0] for cap in BATCH_CAPS},
+    )
     batched_best = max(results[cap][0] for cap in BATCH_CAPS if cap >= 16)
     assert batched_best >= 3.0 * base, (
         f"batched serving reached only {batched_best / base:.2f}x the "
@@ -134,6 +195,10 @@ def test_int8_backend_batching_not_regressive(model, windows, cache):
         for cap in BATCH_CAPS
     ]
     report("Serving throughput — int8 backend (bio2, 4ch x 60smp)", _render(rows))
+    record_bench(
+        "int8_serving",
+        **{f"cap{cap}_windows_per_s": results[cap][0] for cap in BATCH_CAPS},
+    )
     batched_best = max(results[cap][0] for cap in BATCH_CAPS if cap >= 16)
     # Generous floor: integer arithmetic scales ~linearly with batch, so the
     # win is bounded; the invariant is that micro-batching never costs.
@@ -232,8 +297,114 @@ def test_int8_lut_batch_scaling_vs_elementwise(model, windows, cache):
         f"faster at kernel level"
     )
     batched_speedup = max(speedup[batch] for batch in batches if batch >= 8)
+    record_bench(
+        "int8_lut_vs_elementwise",
+        kernel_speedup=kernel_time["elementwise"] / kernel_time["lut"],
+        **{f"batch{batch}_speedup": speedup[batch] for batch in batches},
+    )
     assert batched_speedup > 1.0, (
         f"batched int8 LUT path never beat the elementwise baseline "
+        f"(best {batched_speedup:.3f}x at batch >= 8)"
+    )
+
+
+def test_int8_gemm_batch_scaling_vs_einsum(model, windows, cache):
+    """The batched integer GEMM path must beat the per-op einsum kernels.
+
+    Two gates, mirroring the LUT benchmark:
+
+    * **kernel level** — the summed execution time of the MAC nodes
+      (conv1d / linear / matmul) at batch 32 must not regress versus the
+      einsum op set (the GEMM contraction runs through BLAS wherever that
+      is provably exact for int8-grid operands, so it is measured ~2-10x
+      faster; the gate is loose for noisy single-vCPU CI boxes);
+    * **batched path** — whole-graph int8 inference at batch >= 8 must be
+      faster with the GEMM schedule than with the per-op einsum kernels
+      (interleaved best-of rounds; the best batched configuration decides).
+
+    Both backends produce bit-identical logits at every batch size (pinned
+    here and exhaustively in ``tests/test_int_gemm.py``) — integer
+    arithmetic is exact, so the comparison is purely about speed.
+    """
+    calibration = np.random.default_rng(1).normal(
+        size=(16, GEOMETRY["num_channels"], GEOMETRY["window_samples"])
+    )
+    backends = {
+        "gemm": build_int8_backend(model, calibration, use_gemm=True),
+        "einsum": build_int8_backend(model, calibration, use_gemm=False),
+    }
+    assert backends["gemm"].uses_gemm and not backends["einsum"].uses_gemm
+    np.testing.assert_array_equal(
+        backends["gemm"].run_integer(windows[:8]),
+        backends["einsum"].run_integer(windows[:8]),
+    )
+
+    def mac_seconds(backend):
+        """One whole-graph replay, accumulating only conv/linear/matmul time."""
+        executor = backend.executor
+        graph = executor.graph
+        quantized = executor.quantized
+        stacked = np.asarray(windows[:32], dtype=np.float64)
+        tensors = {
+            graph.graph_input.name: quantized.input_quantization.quantize(stacked)
+        }
+        total = 0.0
+        for node in graph.nodes:
+            start = time.perf_counter()
+            out = executor._run_node(node, tensors)
+            elapsed = time.perf_counter() - start
+            tensors[node.output.name] = out
+            if node.op in ("conv1d", "linear", "matmul"):
+                total += elapsed
+        return total
+
+    for backend in backends.values():
+        mac_seconds(backend)  # warm-up
+    kernel_time = {
+        name: min(mac_seconds(backend) for _ in range(3))
+        for name, backend in backends.items()
+    }
+
+    batches = (1, 8, 32)
+    best = {name: dict.fromkeys(batches, 0.0) for name in backends}
+    for _ in range(5):  # interleaved best-of rounds: drift hits both equally
+        for name, backend in backends.items():
+            for batch in batches:
+                stacked = windows[:batch]
+                start = time.perf_counter()
+                logits = backend.run(stacked)
+                elapsed = time.perf_counter() - start
+                assert logits.shape == (batch, 8)
+                best[name][batch] = max(best[name][batch], batch / elapsed)
+
+    speedup = {batch: best["gemm"][batch] / best["einsum"][batch] for batch in batches}
+    rows = [f"{'batch':>6} {'gemm win/s':>11} {'einsum':>10} {'speedup':>9}"]
+    for batch in batches:
+        rows.append(
+            f"{batch:>6d} {best['gemm'][batch]:>11.1f} "
+            f"{best['einsum'][batch]:>10.1f} {speedup[batch]:>8.2f}x"
+        )
+    report(
+        "Int8 MAC op set — batched GEMM vs per-op einsum (bio2, 4ch x 60smp)",
+        "\n".join(rows)
+        + f"\nMAC kernels (batch 32): "
+        f"gemm {1e3 * kernel_time['gemm']:.2f} ms vs "
+        f"einsum {1e3 * kernel_time['einsum']:.2f} ms "
+        f"({kernel_time['einsum'] / kernel_time['gemm']:.1f}x)",
+    )
+    record_bench(
+        "int8_gemm_vs_einsum",
+        kernel_speedup=kernel_time["einsum"] / kernel_time["gemm"],
+        **{f"batch{batch}_speedup": speedup[batch] for batch in batches},
+        **{f"batch{batch}_windows_per_s": best["gemm"][batch] for batch in batches},
+    )
+    assert kernel_time["einsum"] >= 0.9 * kernel_time["gemm"], (
+        f"GEMM MAC kernels regressed at kernel level "
+        f"({kernel_time['einsum'] / kernel_time['gemm']:.2f}x einsum/gemm)"
+    )
+    batched_speedup = max(speedup[batch] for batch in batches if batch >= 8)
+    assert batched_speedup > 1.0, (
+        f"batched int8 GEMM path never beat the per-op einsum baseline "
         f"(best {batched_speedup:.3f}x at batch >= 8)"
     )
 

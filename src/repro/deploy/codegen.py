@@ -61,6 +61,18 @@ _LUT_KERNEL_FOR_OP = {
     "softmax": "net_softmax_lut_i8",
 }
 
+#: GEMM-schedule variants used when the lowered node carries a
+#: :class:`~repro.deploy.lowering.GemmTileInfo`: conv1d runs as im2col plus
+#: one integer matmul, linear/matmul as a single (M, K) x (K, N) GEMM with
+#: the requantisation applied once per output tile.  Numerics are identical
+#: to the legacy kernels (integer arithmetic is exact; same multiplier and
+#: shift macros) — only the loop schedule changes.
+_GEMM_KERNEL_FOR_OP = {
+    "conv1d": "net_conv1d_im2col_i8",
+    "linear": "net_linear_gemm_i8",
+    "matmul": "net_matmul_gemm_i8",
+}
+
 
 @dataclass
 class GeneratedSource:
@@ -104,6 +116,14 @@ class CodeGenerator:
         carries a :class:`~repro.deploy.graph.LookupTable` and emits the
         tables into ``weights.h``; ``False`` emits the legacy elementwise
         kernel schedule even when tables are present.
+    use_gemm:
+        ``None``/``True`` schedules the im2col/GEMM MAC kernels
+        (``net_conv1d_im2col_i8`` / ``net_linear_gemm_i8`` /
+        ``net_matmul_gemm_i8``) for every node that carries a
+        :class:`~repro.deploy.lowering.GemmTileInfo` and emits the tile
+        ``_GEMM_M/_K/_N`` macros into ``weights.h``; ``False`` keeps the
+        legacy per-op kernel names.  Either way the numerics are pinned:
+        both schedules consume the same multiplier/shift macros.
     """
 
     def __init__(
@@ -111,18 +131,23 @@ class CodeGenerator:
         quantized: QuantizedGraph,
         memory_plan: Optional[MemoryPlan] = None,
         use_lut: Optional[bool] = None,
+        use_gemm: Optional[bool] = None,
     ) -> None:
         self.quantized = quantized
         self.graph = quantized.graph
         self.use_lut = use_lut is None or bool(use_lut)
+        self.use_gemm = use_gemm is None or bool(use_gemm)
         self.memory_plan = (
             memory_plan if memory_plan is not None else plan_activation_memory(self.graph)
         )
 
     def _kernel_for(self, node: GraphNode) -> str:
         """The kernel implementing ``node`` under the active op set."""
-        if self.use_lut and self.quantized.nodes[node.name].luts:
+        lowered = self.quantized.nodes[node.name]
+        if self.use_lut and lowered.luts:
             return _LUT_KERNEL_FOR_OP[node.op]
+        if self.use_gemm and lowered.gemm is not None and node.op in _GEMM_KERNEL_FOR_OP:
+            return _GEMM_KERNEL_FOR_OP[node.op]
         return _KERNEL_FOR_OP[node.op]
 
     # ------------------------------------------------------------------ #
@@ -170,6 +195,11 @@ class CodeGenerator:
                 prefix = f"{identifier}_{role}".upper()
                 lines.append(f"#define {prefix}_MULTIPLIER {multiplier}")
                 lines.append(f"#define {prefix}_SHIFT {shift}")
+            if self.use_gemm and lowered.gemm is not None:
+                prefix = identifier.upper()
+                lines.append(f"#define {prefix}_GEMM_M {lowered.gemm.m}")
+                lines.append(f"#define {prefix}_GEMM_K {lowered.gemm.k}")
+                lines.append(f"#define {prefix}_GEMM_N {lowered.gemm.n}")
             lines.append("")
         lines.append("#endif /* NETWORK_WEIGHTS_H */")
         return GeneratedSource("weights.h", "\n".join(lines) + "\n")
@@ -187,9 +217,16 @@ class CodeGenerator:
             " * requantises with a fixed-point multiplier/shift pair, matching",
             " * the integer executor in repro.deploy.int_engine.  The _lut_",
             " * variants gather a precomputed table (see weights.h) instead of",
-            " * evaluating the I-BERT polynomials per element. */",
+            " * evaluating the I-BERT polynomials per element.  The _gemm_ /",
+            " * _im2col_ variants run the same MACs as their per-op peers but",
+            " * as one (M, K) x (K, N) integer matmul per node, requantising",
+            " * once per output tile (see the _GEMM_M/_K/_N macros). */",
         ]
-        declared = set(_KERNEL_FOR_OP.values()) | set(_LUT_KERNEL_FOR_OP.values())
+        declared = (
+            set(_KERNEL_FOR_OP.values())
+            | set(_LUT_KERNEL_FOR_OP.values())
+            | set(_GEMM_KERNEL_FOR_OP.values())
+        )
         for kernel in sorted(declared):
             lines.append(
                 f"void {kernel}(const int8_t *input, int8_t *output, const void *params);"
@@ -292,6 +329,7 @@ def generate_c_sources(
     quantized: QuantizedGraph,
     memory_plan: Optional[MemoryPlan] = None,
     use_lut: Optional[bool] = None,
+    use_gemm: Optional[bool] = None,
 ) -> Dict[str, GeneratedSource]:
     """One-call code generation for an int8-lowered graph."""
-    return CodeGenerator(quantized, memory_plan, use_lut=use_lut).generate()
+    return CodeGenerator(quantized, memory_plan, use_lut=use_lut, use_gemm=use_gemm).generate()

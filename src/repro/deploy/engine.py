@@ -36,10 +36,13 @@ def conv1d_reference(
 ) -> np.ndarray:
     """Direct 1-D convolution over ``(batch, channels, length)`` inputs.
 
-    Implemented as an explicit sum over kernel taps (vectorised over batch,
-    channels and output positions), which keeps the arithmetic order simple
-    and makes the kernel easy to mirror in the integer engine and in the
-    generated C code.
+    Implemented as im2col + one batched matmul — the *same* lowering and
+    contraction the framework convolution
+    (:func:`repro.nn.functional.conv1d`) performs, so the reference
+    executor reproduces the training-time forward pass bit for bit (the
+    earlier per-tap accumulation loop summed in a different order, which
+    cost a few ULPs against the framework), and it mirrors the GEMM
+    schedule of the integer engine and the generated C code.
     """
     batch, in_channels, length = x.shape
     out_channels, weight_in, kernel = weight.shape
@@ -54,15 +57,17 @@ def conv1d_reference(
     out_length = (length - effective) // stride + 1
     if out_length <= 0:
         raise ValueError("convolution produces an empty output")
-    output = np.zeros((batch, out_channels, out_length), dtype=x.dtype)
-    for tap in range(kernel):
-        start = tap * dilation
-        stop = start + stride * out_length
-        window = x[:, :, start:stop:stride]  # (B, C_in, out_length)
-        output += np.einsum("bcl,oc->bol", window, weight[:, :, tap])
+    starts = np.arange(out_length) * stride
+    taps = np.arange(kernel) * dilation
+    gather_index = starts[:, None] + taps[None, :]
+    # (B, C, L_out, K) -> (B, L_out, C*K): one patch row per output position.
+    columns = x[:, :, gather_index].transpose(0, 2, 1, 3)
+    columns_flat = columns.reshape(batch, out_length, in_channels * kernel)
+    flat_weight = weight.reshape(out_channels, in_channels * kernel)
+    output = columns_flat @ flat_weight.T  # (B, L_out, O)
     if bias is not None:
-        output += bias.reshape(1, out_channels, 1)
-    return output
+        output = output + bias
+    return output.transpose(0, 2, 1)
 
 
 def gelu_reference(x: np.ndarray) -> np.ndarray:

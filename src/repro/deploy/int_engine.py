@@ -14,6 +14,16 @@ domain (the tables are built from the elementwise kernels, and the
 test-suite pins the equality exhaustively); ``use_lut=False`` forces the
 legacy elementwise path for cross-checking.
 
+The MAC-heavy operators (``conv1d``, ``linear``, ``matmul``) execute by
+default through a shared batched GEMM primitive (:func:`int_gemm`):
+``conv1d`` is lowered to im2col + one integer matmul per layer across the
+whole micro-batch, and the fixed-point requantisation is applied once per
+output tile with the multiplier/shift pair precomputed at lowering time
+(:class:`~repro.deploy.lowering.GemmTileInfo`).  Integer arithmetic is
+exact, so the GEMM path is bit-identical to the legacy per-op strided
+einsum kernels by construction — and the test-suite pins that equality per
+shape; ``use_gemm=False`` keeps the einsum path alive for cross-checking.
+
 The executor is an *emulator*: it exists so the quantised accuracy reported
 in Table I, the generated weights and the requantisation constants can all
 be validated end-to-end on the host before any code ever reaches the MCU —
@@ -22,18 +32,86 @@ which is exactly how MCU deployment flows are qualified in practice.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..quant import ibert
 from .graph import GraphNode
-from .lowering import ActivationQuantization, QuantizedGraph, quantize_multiplier
+from .lowering import (
+    ActivationQuantization,
+    QuantizedGraph,
+    QuantizedNode,
+    quantize_multiplier,
+)
 
-__all__ = ["IntegerGraphExecutor", "requantize"]
+__all__ = ["IntegerGraphExecutor", "apply_requant", "int_gemm", "requantize"]
 
 _INT8_MIN = -128
 _INT8_MAX = 127
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+#: Largest integer magnitude float64 represents exactly (2**53).  Below this
+#: bound a float64 GEMM over integer operands is *exact*: every product and
+#: every partial sum is an integer with an exact float64 representation, so
+#: no rounding can occur at any accumulation order.
+_EXACT_FLOAT_GEMM_LIMIT = float(2**53)
+
+
+def _gemm_accumulate(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Integer matmul with int64 semantics, routed through BLAS when exact.
+
+    NumPy has no vectorised integer matmul (int64 ``@`` falls back to slow
+    generic loops), but a float64 GEMM over integer operands is bit-exact
+    whenever ``K * max|lhs| * max|rhs|`` stays below 2**53: each product and
+    each running partial sum is then an integer that float64 represents
+    exactly, so BLAS reassociation cannot round.  int8-grid operands clear
+    that bound by ~9 orders of magnitude; anything larger (or empty) falls
+    back to the exact-by-definition int64 path.
+    """
+    k = lhs.shape[-1]
+    lhs_peak = float(np.abs(lhs).max()) if lhs.size else 0.0
+    rhs_peak = float(np.abs(rhs).max()) if rhs.size else 0.0
+    if k * lhs_peak * rhs_peak < _EXACT_FLOAT_GEMM_LIMIT:
+        product = lhs.astype(np.float64) @ rhs.astype(np.float64)
+        return product.astype(np.int64)
+    return lhs.astype(np.int64) @ rhs.astype(np.int64)
+
+
+def apply_requant(
+    values: np.ndarray,
+    multiplier: int,
+    shift: int,
+    qmin: int = _INT8_MIN,
+    qmax: int = _INT8_MAX,
+) -> np.ndarray:
+    """Apply an already-encoded fixed-point requantiser to accumulators.
+
+    This is the per-tile half of :func:`requantize`: the caller supplies the
+    ``(multiplier, shift)`` pair (precomputed at lowering time, or memoised
+    by the executor), so one encoded requantiser is reused across every
+    invocation of the kernel instead of re-running the encoding loops of
+    :func:`~repro.deploy.lowering.quantize_multiplier` per call.
+    """
+    scaled = values.astype(np.int64) * multiplier
+    if shift > 0:
+        rounding = np.int64(1) << (shift - 1)
+        scaled = (scaled + rounding) >> shift
+    elif shift < 0:
+        left = -shift
+        # Left shifts occur only for extreme (>~2) requantisation factors.
+        # A saturating value would overflow int64 and wrap sign; clipping
+        # to [qmin, qmax] *before* the shift is exact, because the final
+        # clip is monotone and qmin <= 0 <= qmax: any value outside the
+        # grid before scaling up lands on the same bound after it.
+        scaled = np.clip(scaled, qmin, qmax)
+        if (int(max(abs(qmin), abs(qmax))) << left) > _INT64_MAX:
+            # The shift alone exceeds int64: every non-zero value saturates.
+            scaled = np.where(scaled > 0, qmax, np.where(scaled < 0, qmin, 0))
+        else:
+            scaled = scaled << np.int64(left)
+    return np.clip(scaled, qmin, qmax).astype(np.int32)
 
 
 def requantize(
@@ -56,13 +134,62 @@ def requantize(
         values = -np.asarray(values)
         factor = -factor
     multiplier, shift = quantize_multiplier(factor)
-    scaled = values.astype(np.int64) * multiplier
-    if shift > 0:
-        rounding = np.int64(1) << (shift - 1)
-        scaled = (scaled + rounding) >> shift
-    elif shift < 0:
-        scaled = scaled << (-shift)
-    return np.clip(scaled, qmin, qmax).astype(np.int32)
+    return apply_requant(np.asarray(values), multiplier, shift, qmin, qmax)
+
+
+def int_gemm(
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    requant: Optional[Tuple[int, int, int, int]] = None,
+) -> np.ndarray:
+    """Shared integer GEMM primitive: ``lhs @ rhs`` with int64 accumulation.
+
+    ``lhs`` is ``(..., M, K)`` and ``rhs`` ``(K, N)`` (or ``(..., K, N)``
+    for stacked batched multiplies); both are upcast to int64 so the whole
+    contraction runs as a single integer matmul — this is the kernel the
+    im2col'd ``conv1d``, ``linear`` and attention ``matmul`` paths all
+    lower onto.  ``bias`` (int64, broadcast over the trailing axis) is
+    added to the accumulator, and ``requant`` — a
+    ``(multiplier, shift, qmin, qmax)`` tile — applies the fixed-point
+    output requantisation once over the full output tile.  Without
+    ``requant`` the raw int64 accumulator is returned.
+
+    The contraction itself runs through BLAS whenever that is provably
+    exact for the operand ranges (see :func:`_gemm_accumulate`) — int8-grid
+    inputs always qualify — which is where the GEMM schedule's speedup
+    over the per-op integer einsum kernels comes from.
+    """
+    accumulator = _gemm_accumulate(lhs, rhs)
+    if bias is not None:
+        accumulator = accumulator + bias
+    if requant is None:
+        return accumulator
+    multiplier, shift, qmin, qmax = requant
+    return apply_requant(accumulator, multiplier, shift, qmin, qmax)
+
+
+def _im2col(
+    q_x: np.ndarray, kernel: int, stride: int, padding: int, dilation: int
+) -> np.ndarray:
+    """Lower a ``(B, C, L)`` activation to im2col patches ``(B, L_out, C*K)``.
+
+    One fancy-indexed gather builds every ``(output position, tap)`` pair,
+    so the convolution becomes a single GEMM against the flattened
+    ``(O, C*K)`` weight matrix.  Same index arithmetic as the float
+    framework convolution (:func:`repro.nn.functional.conv1d`).
+    """
+    if padding > 0:
+        q_x = np.pad(q_x, ((0, 0), (0, 0), (padding, padding)))
+    batch, channels, length = q_x.shape
+    effective = dilation * (kernel - 1) + 1
+    out_length = (length - effective) // stride + 1
+    starts = np.arange(out_length) * stride
+    taps = np.arange(kernel) * dilation
+    gather_index = starts[:, None] + taps[None, :]
+    # (B, C, L_out, K) -> (B, L_out, C, K) -> (B, L_out, C*K)
+    columns = q_x[:, :, gather_index].transpose(0, 2, 1, 3)
+    return columns.reshape(batch, out_length, channels * kernel)
 
 
 class IntegerGraphExecutor:
@@ -79,12 +206,32 @@ class IntegerGraphExecutor:
         legacy elementwise path even when tables are present (the
         cross-checking baseline); ``True`` behaves like ``None`` — a graph
         lowered with ``use_lut=False`` simply has no tables to use.
+    use_gemm:
+        ``None``/``True`` (default) executes ``conv1d`` (via im2col),
+        ``linear`` and ``matmul`` through the shared :func:`int_gemm`
+        primitive — one integer matmul per layer across the whole
+        micro-batch, with the requantiser tile precomputed at lowering
+        time.  ``False`` keeps the legacy strided-einsum kernels with
+        per-call requantiser encoding (the cross-checking baseline).
+        Integer arithmetic is exact, so both paths are bit-identical.
     """
 
-    def __init__(self, quantized: QuantizedGraph, use_lut: Optional[bool] = None) -> None:
+    def __init__(
+        self,
+        quantized: QuantizedGraph,
+        use_lut: Optional[bool] = None,
+        use_gemm: Optional[bool] = None,
+    ) -> None:
         self.quantized = quantized
         self.graph = quantized.graph
         self.use_lut = use_lut is None or bool(use_lut)
+        self.use_gemm = use_gemm is None or bool(use_gemm)
+        # Requantiser memo: factor -> (multiplier, shift).  The MAC nodes
+        # carry their encoded requantiser from lowering (GemmTileInfo); the
+        # remaining ops (avgpool, mean, the I-BERT tails) compute factors
+        # at runtime, so the encoding loops of ``quantize_multiplier`` are
+        # paid once per distinct factor instead of once per invocation.
+        self._multiplier_cache: Dict[float, Tuple[int, int]] = {}
 
     @property
     def uses_luts(self) -> bool:
@@ -97,9 +244,39 @@ class IntegerGraphExecutor:
     def _activation(self, tensor_name: str) -> ActivationQuantization:
         return self.quantized.activations[tensor_name]
 
+    def _encode_multiplier(self, factor: float) -> Tuple[int, int]:
+        """Memoised :func:`quantize_multiplier` (positive factors only)."""
+        cached = self._multiplier_cache.get(factor)
+        if cached is None:
+            cached = quantize_multiplier(factor)
+            self._multiplier_cache[factor] = cached
+        return cached
+
     def _requant_to(self, values: np.ndarray, in_scale: float, tensor_name: str) -> np.ndarray:
         out = self._activation(tensor_name)
-        return requantize(values, in_scale / out.scale, out.qmin, out.qmax)
+        factor = in_scale / out.scale
+        values = np.asarray(values)
+        if factor < 0:
+            values, factor = -values, -factor
+        multiplier, shift = self._encode_multiplier(factor)
+        return apply_requant(values, multiplier, shift, out.qmin, out.qmax)
+
+    def _gemm_requant(
+        self, lowered: QuantizedNode, out_name: str, factor: float
+    ) -> Tuple[int, int, int, int]:
+        """The ``(multiplier, shift, qmin, qmax)`` tile of a GEMM node.
+
+        Prefers the requantiser precomputed at lowering time
+        (:class:`~repro.deploy.lowering.GemmTileInfo`); the runtime
+        ``factor`` fallback encodes the identical float expression, so both
+        sources yield the same fixed-point pair.
+        """
+        out = self._activation(out_name)
+        tile = lowered.gemm
+        if tile is not None:
+            return (tile.multiplier, tile.shift, out.qmin, out.qmax)
+        multiplier, shift = self._encode_multiplier(factor / out.scale)
+        return (multiplier, shift, out.qmin, out.qmax)
 
     # ------------------------------------------------------------------ #
     # Single-node dispatch
@@ -114,6 +291,27 @@ class IntegerGraphExecutor:
 
         if op == "conv1d":
             weight = lowered.constants["weight"]
+            bias = lowered.constants.get("bias")
+            if self.use_gemm:
+                out_channels, in_channels, kernel = weight.values.shape
+                patches = _im2col(
+                    q_x,
+                    kernel,
+                    stride=int(node.attrs["stride"]),
+                    padding=int(node.attrs["padding"]),
+                    dilation=int(node.attrs["dilation"]),
+                )
+                batch, out_length, patch_dim = patches.shape
+                flat_weight = weight.values.reshape(out_channels, patch_dim)
+                quantized = int_gemm(
+                    patches.reshape(batch * out_length, patch_dim),
+                    flat_weight.T,
+                    bias=bias.values if bias is not None else None,
+                    requant=self._gemm_requant(
+                        lowered, out_name, in_scale * weight.scale
+                    ),
+                )
+                return quantized.reshape(batch, out_length, out_channels).transpose(0, 2, 1)
             accumulator = _int_conv1d(
                 q_x,
                 weight.values,
@@ -121,15 +319,28 @@ class IntegerGraphExecutor:
                 padding=int(node.attrs["padding"]),
                 dilation=int(node.attrs["dilation"]),
             )
-            if "bias" in lowered.constants:
-                accumulator += lowered.constants["bias"].values.reshape(1, -1, 1)
+            if bias is not None:
+                accumulator += bias.values.reshape(1, -1, 1)
             return self._requant_to(accumulator, in_scale * weight.scale, out_name)
 
         if op == "linear":
             weight = lowered.constants["weight"]
+            bias = lowered.constants.get("bias")
+            if self.use_gemm:
+                out_features, in_features = weight.values.shape
+                lead = q_x.shape[:-1]
+                quantized = int_gemm(
+                    q_x.reshape(-1, in_features),
+                    weight.values.T,
+                    bias=bias.values if bias is not None else None,
+                    requant=self._gemm_requant(
+                        lowered, out_name, in_scale * weight.scale
+                    ),
+                )
+                return quantized.reshape(lead + (out_features,))
             accumulator = q_x.astype(np.int64) @ weight.values.T.astype(np.int64)
-            if "bias" in lowered.constants:
-                accumulator += lowered.constants["bias"].values
+            if bias is not None:
+                accumulator += bias.values
             return self._requant_to(accumulator, in_scale * weight.scale, out_name)
 
         if op == "channel_affine":
@@ -144,8 +355,18 @@ class IntegerGraphExecutor:
             other_scale = self._activation(node.inputs[1]).scale
             if node.attrs.get("transpose_b", False):
                 q_other = np.swapaxes(q_other, -1, -2)
-            accumulator = q_x.astype(np.int64) @ q_other.astype(np.int64)
             factor = in_scale * other_scale * float(node.attrs.get("scale", 1.0))
+            if self.use_gemm:
+                # Fold the leading (batch, heads) axes into one stacked GEMM
+                # so the whole micro-batch contracts in a single matmul.
+                lead = q_x.shape[:-2]
+                quantized = int_gemm(
+                    q_x.reshape((-1,) + q_x.shape[-2:]),
+                    q_other.reshape((-1,) + q_other.shape[-2:]),
+                    requant=self._gemm_requant(lowered, out_name, factor),
+                )
+                return quantized.reshape(lead + quantized.shape[-2:])
+            accumulator = q_x.astype(np.int64) @ q_other.astype(np.int64)
             return self._requant_to(accumulator, factor, out_name)
 
         if op == "add":

@@ -34,6 +34,7 @@ from .graph import LUT_OPERATORS, ComputeGraph, GraphNode, LookupTable
 
 __all__ = [
     "ActivationQuantization",
+    "GemmTileInfo",
     "QuantizedConstant",
     "QuantizedNode",
     "QuantizedGraph",
@@ -106,6 +107,31 @@ class QuantizedConstant:
         return int(self.values.size * per_element)
 
 
+@dataclass(frozen=True)
+class GemmTileInfo:
+    """Integer-GEMM lowering contract of one MAC node.
+
+    ``conv1d`` (after im2col), ``linear`` and ``matmul`` all execute as one
+    ``(M, K) @ (K, N)`` integer matmul per sample — ``M`` output rows per
+    sample (the batch axis multiplies ``M``), ``K`` contracted inputs and
+    ``N`` output features — followed by one fixed-point requantisation of
+    the whole output tile.  The ``(multiplier, shift)`` pair is encoded
+    here, at lowering time, so the executor and the generated kernels never
+    re-derive it per invocation.
+    """
+
+    m: int
+    k: int
+    n: int
+    multiplier: int
+    shift: int
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count of the per-sample GEMM tile."""
+        return self.m * self.k * self.n
+
+
 @dataclass
 class QuantizedNode:
     """A graph node plus its integer constants and requantisation factors."""
@@ -114,6 +140,10 @@ class QuantizedNode:
     constants: Dict[str, QuantizedConstant] = field(default_factory=dict)
     #: Requantisation multiplier/shift pairs keyed by role (usually "output").
     requantizers: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: Integer-GEMM tile metadata; populated for the MAC operators
+    #: (``conv1d``, ``linear``, ``matmul``) so the batched GEMM path and the
+    #: code generator share one lowering-time requantisation contract.
+    gemm: Optional[GemmTileInfo] = None
     #: Precomputed lookup tables keyed by role (``"gelu"``, ``"exp"``); only
     #: populated for :data:`~repro.deploy.graph.LUT_OPERATORS` nodes when the
     #: graph was lowered with ``use_lut=True``.
@@ -326,10 +356,37 @@ def lower_to_int8(
             lowered.requantizers["output"] = quantize_multiplier(
                 input_scale * weight.scale / output_scale
             )
+            multiplier, shift = lowered.requantizers["output"]
+            if node.op == "conv1d":
+                out_channels, in_channels, kernel = node.weights["weight"].shape
+                lowered.gemm = GemmTileInfo(
+                    m=int(node.output.shape[-1]),
+                    k=int(in_channels * kernel),
+                    n=int(out_channels),
+                    multiplier=multiplier,
+                    shift=shift,
+                )
+            else:
+                out_features, in_features = node.weights["weight"].shape
+                lowered.gemm = GemmTileInfo(
+                    m=int(node.output.num_elements // out_features),
+                    k=int(in_features),
+                    n=int(out_features),
+                    multiplier=multiplier,
+                    shift=shift,
+                )
         elif node.op == "matmul":
             other_scale = activations[node.inputs[1]].scale
             factor = input_scale * other_scale * float(node.attrs.get("scale", 1.0))
             lowered.requantizers["output"] = quantize_multiplier(factor / output_scale)
+            multiplier, shift = lowered.requantizers["output"]
+            lowered.gemm = GemmTileInfo(
+                m=int(node.output.shape[-2]),
+                k=int(node.attrs["inner_dim"]),
+                n=int(node.output.shape[-1]),
+                multiplier=multiplier,
+                shift=shift,
+            )
         elif node.op == "channel_affine":
             scale_const = node.weights["scale"]
             shift_const = node.weights["shift"]

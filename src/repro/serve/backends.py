@@ -113,15 +113,23 @@ class Int8Backend:
 
     ``use_lut=None`` (default) executes the nonlinearities through the
     lookup tables carried by the lowered graph, when present; ``False``
-    forces the legacy elementwise I-BERT kernels.  Outputs are bit-identical
-    either way.
+    forces the legacy elementwise I-BERT kernels.  ``use_gemm=None``
+    (default) runs conv1d/linear/matmul as im2col + one integer GEMM per
+    node across the whole micro-batch; ``False`` keeps the per-op einsum
+    kernels.  Outputs are bit-identical under every flag combination —
+    integer arithmetic is exact, so only the schedule changes.
     """
 
     name = "int8"
 
-    def __init__(self, quantized: QuantizedGraph, use_lut: Optional[bool] = None) -> None:
+    def __init__(
+        self,
+        quantized: QuantizedGraph,
+        use_lut: Optional[bool] = None,
+        use_gemm: Optional[bool] = None,
+    ) -> None:
         self.quantized = quantized
-        self.executor = IntegerGraphExecutor(quantized, use_lut=use_lut)
+        self.executor = IntegerGraphExecutor(quantized, use_lut=use_lut, use_gemm=use_gemm)
         graph = quantized.graph
         self._input_shape = tuple(int(size) for size in graph.graph_input.shape)
         self._classes = int(graph.output.shape[-1])
@@ -141,6 +149,11 @@ class Int8Backend:
         """Whether the nonlinearities execute through lookup tables."""
         return self.executor.uses_luts
 
+    @property
+    def uses_gemm(self) -> bool:
+        """Whether the MAC ops execute through the im2col/GEMM path."""
+        return self.executor.use_gemm
+
     def run(self, windows: np.ndarray) -> np.ndarray:
         """Dequantised float logits for ``(batch, channels, samples)`` windows."""
         return self.executor.run(windows)
@@ -156,7 +169,7 @@ class Int8Backend:
     def __repr__(self) -> str:
         return (
             f"Int8Backend(graph='{self.quantized.graph.name}', "
-            f"input={self.input_shape}, lut={self.uses_lut})"
+            f"input={self.input_shape}, lut={self.uses_lut}, gemm={self.uses_gemm})"
         )
 
 
@@ -172,6 +185,7 @@ def build_int8_backend(
     calibration_batch: int = 16,
     seed: int = 0,
     use_lut: bool = True,
+    use_gemm: bool = True,
     **lower_kwargs,
 ) -> Int8Backend:
     """Trace, calibrate and lower ``model``, then wrap the integer engine.
@@ -184,8 +198,12 @@ def build_int8_backend(
     ``use_lut`` selects the nonlinearity op set: ``True`` (default) lowers
     the I-BERT GELU/softmax into precomputed lookup tables and executes them
     as a single gather; ``False`` keeps the legacy elementwise kernels.
-    Both produce bit-identical logits — the flag exists so either path can
-    cross-check the other.
+    ``use_gemm`` selects the MAC op set: ``True`` (default) runs
+    conv1d/linear/matmul through im2col + a single integer GEMM per node;
+    ``False`` keeps the per-op einsum kernels.  All combinations produce
+    bit-identical logits — the flags exist so each path can cross-check the
+    other.  The lowered graph always carries the GEMM tile metadata, so the
+    flag only routes execution.
     """
     graph = trace_model(model.eval())
     if calibration is None:
@@ -195,4 +213,4 @@ def build_int8_backend(
     quantized = lower_to_int8(
         graph, np.asarray(calibration, dtype=np.float64), use_lut=use_lut, **lower_kwargs
     )
-    return Int8Backend(quantized, use_lut=use_lut)
+    return Int8Backend(quantized, use_lut=use_lut, use_gemm=use_gemm)

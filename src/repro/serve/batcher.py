@@ -243,23 +243,38 @@ class DynamicBatcher:
                 by_priority=MappingProxyType(dict(self._by_priority)),
             )
 
-    def close(self, timeout: Optional[float] = 10.0) -> None:
+    def close(self, timeout: Optional[float] = 10.0) -> bool:
         """Stop accepting requests, drain the queue, and join the worker.
 
         When a pool is attached, also blocks until every batch this batcher
         already dispatched has finished executing (the pool itself stays
         open — it may be shared).
+
+        ``timeout`` is a *single* budget for the whole shutdown: the worker
+        join and the wait on in-flight pool futures share one deadline
+        (earlier revisions spent the full timeout on each phase, so
+        ``close(timeout=10)`` could block for 20 s).  Returns ``True`` when
+        everything drained within the budget, ``False`` when the worker is
+        still alive or pool futures are still running at the deadline — the
+        caller can then retry, extend the budget, or report the leak.
         """
         with self._lock:
             already = self._closed
             if not already:
                 self._closed = True
                 self._queue.put((_SHUTDOWN_PRIORITY, next(self._ticket), _SHUTDOWN))
+        deadline = None if timeout is None else time.monotonic() + timeout
         self._worker.join(timeout=timeout)
+        drained = not self._worker.is_alive()
         with self._lock:
             pending = list(self._pending)
         if pending:
-            wait_futures(pending, timeout=timeout)
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            done = wait_futures(pending, timeout=remaining)
+            drained = drained and not done.not_done
+        return drained
 
     @property
     def closed(self) -> bool:

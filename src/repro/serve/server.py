@@ -176,12 +176,14 @@ class InferenceServer:
         ``cache`` when serving differently calibrated variants side by side.
     lower_kwargs:
         Extra :func:`~repro.deploy.lowering.lower_to_int8` arguments for the
-        int8 backend (``use_lut``, ``weight_bits``, ``activation_bits``,
-        ...).  Pass ``lower_kwargs={"use_lut": False}`` to serve the legacy
-        elementwise nonlinearities instead of the LUT kernels (the
-        cross-checking baseline).  Unlike calibration, ``lower_kwargs`` *is*
-        part of the cache key, so LUT and elementwise variants of the same
-        architecture are cached side by side.
+        int8 backend (``use_lut``, ``use_gemm``, ``weight_bits``,
+        ``activation_bits``, ...).  Pass ``lower_kwargs={"use_lut": False}``
+        to serve the legacy elementwise nonlinearities instead of the LUT
+        kernels, or ``{"use_gemm": False}`` to serve the per-op einsum MAC
+        kernels instead of the im2col/GEMM path (both are cross-checking
+        baselines; logits are bit-identical either way).  Unlike
+        calibration, ``lower_kwargs`` *is* part of the cache key, so op-set
+        variants of the same architecture are cached side by side.
     max_batch_size / max_wait_s:
         Micro-batching knobs (see :class:`~repro.serve.batcher.DynamicBatcher`).
     num_workers:
@@ -229,11 +231,12 @@ class InferenceServer:
         # Lowering options change the served numerics' implementation (LUT
         # vs elementwise op set, bit widths), so they are part of the cache
         # identity — unlike calibration data, which is not hashable.  The
-        # key is normalised against the lowering default for the op-set
-        # flag, so an explicit use_lut=True and the default share one entry.
+        # key is normalised against the lowering defaults for the op-set
+        # flags, so an explicit use_lut=True / use_gemm=True and the
+        # defaults share one entry.
         lowering_variant: Tuple = ()
         if backend == "int8":
-            effective = {"use_lut": True, **lower_kwargs}
+            effective = {"use_lut": True, "use_gemm": True, **lower_kwargs}
             lowering_variant = tuple(sorted(effective.items()))
 
         if isinstance(model, str):

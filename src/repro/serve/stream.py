@@ -156,7 +156,12 @@ class StreamSession:
         (the same normalisation ``push``/``StreamWindower`` apply): it is
         lifted to ``(1, samples)`` so chunking slices the time axis, never
         the channel axis.
+
+        ``chunk_size`` must be at least 1 — a zero or negative chunk would
+        make the slicing loop silently produce no (or wrong) decisions.
         """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         signal = np.atleast_2d(np.asarray(signal))
         produced: List[StreamDecision] = []
         for start in range(0, signal.shape[-1], chunk_size):

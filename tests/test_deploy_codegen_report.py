@@ -103,8 +103,21 @@ class TestCodegen:
         model = temponet(num_channels=4, window_samples=80, seed=31).eval()
         quantized = lower_to_int8(trace_temponet(model), rng.normal(size=(4, 4, 80)))
         sources = generate_c_sources(quantized)
-        assert "net_conv1d_i8" in sources["network.c"].content
+        # Default schedule routes MAC nodes through the im2col/GEMM kernels
+        # and publishes the tile geometry macros.
+        assert "net_conv1d_im2col_i8" in sources["network.c"].content
         assert "net_channel_affine_i8" in sources["network.c"].content
+        assert "_GEMM_M" in sources["weights.h"].content
+
+    def test_temponet_codegen_legacy_gemm_opt_out(self, rng):
+        model = temponet(num_channels=4, window_samples=80, seed=31).eval()
+        quantized = lower_to_int8(trace_temponet(model), rng.normal(size=(4, 4, 80)))
+        sources = generate_c_sources(quantized, use_gemm=False)
+        network = sources["network.c"].content
+        called = set(re.findall(r"(net_\w+)\(\(const", network))
+        assert "net_conv1d_i8" in called
+        assert "net_conv1d_im2col_i8" not in called
+        assert "_GEMM_M" not in sources["weights.h"].content
 
 
 # --------------------------------------------------------------------- #

@@ -173,6 +173,34 @@ class TestRequantization:
         np.testing.assert_array_equal(negative, requantize(-values, 0.5))
         assert positive[0] == -negative[0]
 
+    def test_requantize_left_shift_saturates_instead_of_overflowing(self):
+        """Regression: factors > 1 encode as a *left* shift (negative
+        ``shift`` from ``quantize_multiplier``), and the shift used to run
+        on the raw int64 product — ``2**30 * 2**33`` wrapped negative and
+        came back as -128 instead of saturating at +127."""
+        accumulators = np.array([2**30, -(2**30), 0], dtype=np.int64)
+        multiplier, shift = quantize_multiplier(2.0**33)
+        assert shift < 0  # the boundary this test pins: a left shift
+        np.testing.assert_array_equal(
+            requantize(accumulators, 2.0**33), np.array([127, -128, 0])
+        )
+
+    def test_requantize_huge_left_shift_saturates(self):
+        """A shift large enough that even the clipped int8 value would
+        overflow int64 when shifted: nonzero values saturate directly."""
+        accumulators = np.array([5, -5, 0], dtype=np.int64)
+        np.testing.assert_array_equal(
+            requantize(accumulators, 2.0**100), np.array([127, -128, 0])
+        )
+
+    def test_requantize_boundary_multipliers_stay_exact(self):
+        """Small magnitudes under a left shift still requantise exactly
+        (the clip-before-shift reordering must not change in-range math)."""
+        accumulators = np.arange(-8, 9, dtype=np.int64)
+        for factor in (2.0, 4.0, 8.0):
+            expected = np.clip(accumulators * int(factor), -128, 127)
+            np.testing.assert_array_equal(requantize(accumulators, factor), expected)
+
 
 # --------------------------------------------------------------------- #
 # Lowering

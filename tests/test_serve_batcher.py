@@ -147,6 +147,57 @@ def test_submit_after_close_raises():
         batcher.submit(np.array([1.0]))
 
 
+def test_close_reports_clean_drain():
+    batcher = DynamicBatcher(echo_batch, max_batch_size=4, max_wait_s=0.001)
+    futures = [batcher.submit(np.array([i])) for i in range(5)]
+    assert batcher.close(timeout=10.0) is True
+    assert all(future.done() for future in futures)
+    # Idempotent: closing an already-drained batcher still reports success.
+    assert batcher.close(timeout=1.0) is True
+
+
+def test_close_spends_a_single_timeout_budget():
+    """Regression: ``close(timeout=t)`` used to give the worker join *and*
+    the pool-future wait a full ``t`` each, so a wedged pipeline blocked
+    for up to ``2 * t``.  Both phases now share one deadline, and an
+    incomplete drain is reported instead of silently swallowed."""
+    from repro.serve import WorkerPool
+
+    release = threading.Event()
+
+    def stuck_backend(batch):
+        release.wait(timeout=30.0)
+        return np.asarray(batch)
+
+    pool = WorkerPool(num_workers=1)
+    try:
+        batcher = DynamicBatcher(
+            stuck_backend, max_batch_size=1, max_wait_s=0.0, pool=pool
+        )
+        # Two single-request batches: the first occupies the only pool
+        # worker (stuck in the backend), the second wedges the forming
+        # thread on the dispatch throttle — so close() faces both a live
+        # worker *and* an in-flight pool future, the exact shape that used
+        # to spend the timeout twice.
+        first = batcher.submit(np.array([1.0]))
+        second = batcher.submit(np.array([2.0]))
+        deadline = time.monotonic() + 5.0
+        while not first.running() and time.monotonic() < deadline:
+            time.sleep(0.001)
+        start = time.monotonic()
+        drained = batcher.close(timeout=0.4)
+        elapsed = time.monotonic() - start
+        assert drained is False  # the backend is stuck -> drain incomplete
+        assert elapsed < 0.75  # one shared budget, not 2 x 0.4 s
+        release.set()
+        assert int(first.result(timeout=10.0)[0]) == 1
+        assert int(second.result(timeout=10.0)[0]) == 2
+        assert batcher.close(timeout=10.0) is True
+    finally:
+        release.set()
+        pool.close()
+
+
 def test_backend_error_propagates_to_every_future():
     def broken(batch):
         raise ValueError("backend exploded")

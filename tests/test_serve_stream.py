@@ -167,6 +167,17 @@ class TestStreamSession:
         assert session.samples_seen == 0
         assert session.current_label is None
 
+    @pytest.mark.parametrize("chunk_size", [0, -1, -64])
+    def test_run_rejects_non_positive_chunk_size(self, chunk_size):
+        """Regression: ``chunk_size=0`` made ``range(0, n, 0)`` raise an
+        opaque ``ValueError`` from ``range`` (and a negative chunk silently
+        produced zero decisions); ``run`` now validates up front."""
+        session = StreamSession(label_by_mean, window=10, slide=5, num_channels=1)
+        with pytest.raises(ValueError, match="chunk_size"):
+            session.run(np.zeros((1, 100)), chunk_size=chunk_size)
+        # Nothing was consumed by the rejected call.
+        assert session.samples_seen == 0
+
     def test_stream_through_inference_server(self):
         rng = np.random.default_rng(17)
         with InferenceServer(
