@@ -610,3 +610,45 @@ def test_backend_cache_amortizes_construction(model, windows, cache):
     # Construction was cached by the earlier benchmarks; opening a server
     # and classifying 4 windows should be near-instant.
     assert elapsed < 5.0
+
+
+def test_idle_fault_layer_costs_nothing(model, windows, cache):
+    """The resilience machinery must be free when nothing is failing.
+
+    Serves the same float workload twice — bare, and with the full fault
+    stack armed but idle (a FaultInjectingBackend with an empty schedule,
+    a retry policy, a closed circuit breaker and admission control) — and
+    gates the armed configuration at >= 0.7x the bare throughput
+    (generous for noisy 1-vCPU CI boxes; the expected cost is a few
+    percent of per-call bookkeeping).
+    """
+    from repro.serve import CircuitBreaker, FaultInjectingBackend, RetryPolicy
+
+    bare, _ = _throughput(model, "float", 16, windows, cache, repeats=3)
+    armed, _ = _throughput(
+        model,
+        "float",
+        16,
+        windows,
+        cache,
+        repeats=3,
+        retry_policy=RetryPolicy(),
+        circuit_breaker=CircuitBreaker(),
+        max_queue_depth=4096,
+        backend_wrapper=lambda b: FaultInjectingBackend(b, schedule=None),
+    )
+    report(
+        "Serving throughput — fault layer armed but idle (float, cap 16)",
+        f"{'config':>10} {'windows/s':>11}\n"
+        f"{'bare':>10} {bare:>11.1f}\n"
+        f"{'armed':>10} {armed:>11.1f}\n"
+        f"ratio: {armed / bare:.2f}x",
+    )
+    record_bench(
+        "idle_fault_layer", bare_windows_per_s=bare, armed_windows_per_s=armed,
+        ratio=armed / bare,
+    )
+    assert armed >= 0.7 * bare, (
+        f"idle fault layer cost {1 - armed / bare:.0%} of serving throughput "
+        f"({armed:.0f} vs {bare:.0f} windows/s)"
+    )

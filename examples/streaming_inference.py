@@ -18,7 +18,11 @@ host through :mod:`repro.serve`:
 4. repeat with the int8 backend — the GAP8 integer numerics, served
    through the LUT nonlinearity kernels (``lower_kwargs=dict(use_lut=...)``
    toggles the op set; both are bit-identical, see docs/quantization.md) —
-   and compare the decision streams.
+   and compare the decision streams;
+5. demonstrate the fault-tolerance layer: an int8 server with retries, a
+   circuit breaker and float-backend fallback serves through an injected
+   fault storm — every answer still lands (some flagged ``degraded``),
+   and ``server.health()`` reports what happened.
 
 The float server runs on a two-thread :class:`~repro.serve.WorkerPool`
 (``num_workers=2``), overlapping micro-batch formation with backend
@@ -33,7 +37,16 @@ Run with::
 import numpy as np
 
 from repro.data import NinaProDB6, NinaProDB6Config, sliding_windows
-from repro.serve import BackendCache, InferenceServer, Priority
+from repro.serve import (
+    BackendCache,
+    CircuitBreaker,
+    FaultInjectingBackend,
+    InferenceServer,
+    InjectError,
+    NaNOutput,
+    Priority,
+    RetryPolicy,
+)
 
 
 def make_stream(dataset: NinaProDB6, subject: int = 1) -> np.ndarray:
@@ -166,6 +179,42 @@ def main() -> None:
         f"\nfloat vs int8 smoothed decisions: {100 * agreement:.1f}% agreement "
         f"over {float_labels.shape[0]} windows"
     )
+
+    # 5. Fault-tolerant serving: wrap the int8 backend in a fault injector
+    # (transient errors + NaN logits on a fixed schedule), arm retries, a
+    # circuit breaker and the float fallback — and watch every request get
+    # an answer anyway.
+    print("\n-- fault tolerance (injected faults, int8 + float fallback) ---")
+    probe = sliding_windows(
+        signal, window=config.window_samples, slide=config.slide_samples
+    )[:12]
+    with InferenceServer(
+        "bio1",
+        "int8",
+        patch_size=10,
+        model_kwargs=geometry,
+        calibration=calibration,
+        cache=cache,
+        max_batch_size=4,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.002),
+        circuit_breaker=CircuitBreaker(failure_threshold=3, recovery_s=0.25),
+        fallback=True,
+        backend_wrapper=lambda backend: FaultInjectingBackend(
+            backend, {0: InjectError(), 2: NaNOutput(), 3: InjectError(), 4: InjectError(retryable=False)}
+        ),
+    ) as server:
+        logits = server.infer(probe, timeout=60.0)
+        labels = np.argmax(np.asarray(logits), axis=-1)
+        health = server.health()
+        stats = server.stats
+        print(f"  {len(probe)} windows served through the fault storm: labels {labels.tolist()}")
+        print(
+            f"  retries={stats.retries}  degraded rows="
+            f"{stats.degraded} (answered by the float fallback, "
+            f"flagged via DegradedLogits)"
+        )
+        breaker_states = {name: snap.state for name, snap in health.breakers.items()}
+        print(f"  health: status={health.status}  breakers={breaker_states}")
 
 
 if __name__ == "__main__":

@@ -33,8 +33,34 @@ from .backends import (
     build_int8_backend,
 )
 from .batcher import BatcherStats, DynamicBatcher
+from .faults import (
+    BackendError,
+    BackendTimeout,
+    BreakerSnapshot,
+    CircuitBreaker,
+    CircuitOpen,
+    DegradedLogits,
+    FaultInjectingBackend,
+    Hang,
+    HealthMonitor,
+    HealthSnapshot,
+    InjectError,
+    LatencySpike,
+    NaNOutput,
+    Overloaded,
+    RetryExhausted,
+    RetryPolicy,
+    ServingError,
+    WorkerCrash,
+)
 from .pool import DeadlineExceeded, PoolStats, Priority, WorkerPool
-from .server import BackendCache, InferenceServer, ServerStats, get_default_cache
+from .server import (
+    BackendCache,
+    CacheStats,
+    InferenceServer,
+    ServerStats,
+    get_default_cache,
+)
 from .stream import MajorityVoter, StreamDecision, StreamSession
 
 __all__ = [
@@ -50,10 +76,29 @@ __all__ = [
     "Priority",
     "WorkerPool",
     "BackendCache",
+    "CacheStats",
     "InferenceServer",
     "ServerStats",
     "get_default_cache",
     "MajorityVoter",
     "StreamDecision",
     "StreamSession",
+    "BackendError",
+    "BackendTimeout",
+    "BreakerSnapshot",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "DegradedLogits",
+    "FaultInjectingBackend",
+    "Hang",
+    "HealthMonitor",
+    "HealthSnapshot",
+    "InjectError",
+    "LatencySpike",
+    "NaNOutput",
+    "Overloaded",
+    "RetryExhausted",
+    "RetryPolicy",
+    "ServingError",
+    "WorkerCrash",
 ]

@@ -19,7 +19,12 @@ inference paths the repository already validates end-to-end:
 Both expose the same :class:`Backend` protocol, which is what
 :class:`repro.serve.server.InferenceServer` and the
 :class:`~repro.serve.batcher.DynamicBatcher` consume — later backends
-(sharded, multi-process, remote) only need to implement ``run``.
+(sharded, multi-process, remote) only need to implement ``run``.  The
+protocol is also the seam the fault-tolerance layer composes through:
+:class:`repro.serve.faults.FaultInjectingBackend` wraps any backend to
+inject scheduled faults (via the server's ``backend_wrapper`` hook), and
+dispatch-level retries, circuit breaking and int8→float degradation all
+operate on ``run`` calls without the backends knowing.
 """
 
 from __future__ import annotations

@@ -19,10 +19,19 @@ default) or are dispatched to a :class:`~repro.serve.pool.WorkerPool`,
 which overlaps batch formation with backend execution across ``N``
 threads.
 
+Overload is handled by **admission control**, not unbounded queueing:
+with ``max_queue_depth`` set, a submission that finds the queue full
+either sheds the newest request of the *worst* queued priority level
+(when the newcomer outranks it — its future resolves with
+:class:`~repro.serve.faults.Overloaded`) or is itself rejected with a
+fast synchronous :class:`~repro.serve.faults.Overloaded` raise.  LOW
+traffic is always shed before HIGH.
+
 Invariants (enforced by the property tests in ``tests/test_serve_batcher.py``):
 
 * **no request is dropped** — every submitted future completes, even when
-  the batcher is closed with requests still queued;
+  the batcher is closed with requests still queued, when a dispatched
+  pool job crashes, or when its worker is abandoned on a soft timeout;
 * **no request is duplicated** — each future resolves exactly once;
 * **order is preserved per priority level** — within one priority, rows of
   a micro-batch follow submission order, and each caller receives exactly
@@ -38,14 +47,16 @@ import itertools
 import queue
 import threading
 import time
-from concurrent.futures import Future
+from collections import deque
+from concurrent.futures import Future, InvalidStateError
 from concurrent.futures import wait as wait_futures
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .faults import Overloaded, WorkerCrash
 from .pool import DeadlineExceeded, Priority, WorkerPool
 
 __all__ = ["BatcherStats", "DynamicBatcher"]
@@ -72,6 +83,9 @@ class BatcherStats:
     max_batch: int = 0
     expired: int = 0
     malformed: int = 0
+    shed: int = 0
+    rejected: int = 0
+    queue_depth: int = 0
     by_priority: Mapping[int, int] = field(default_factory=dict)
 
     @property
@@ -81,7 +95,7 @@ class BatcherStats:
 
 
 class _Request:
-    __slots__ = ("payload", "future", "priority", "deadline")
+    __slots__ = ("payload", "future", "priority", "deadline", "shed")
 
     def __init__(
         self,
@@ -94,6 +108,7 @@ class _Request:
         self.future = future
         self.priority = priority
         self.deadline = deadline  # absolute time.monotonic() instant
+        self.shed = False  # resolved with Overloaded while queued
 
 
 class DynamicBatcher:
@@ -123,6 +138,20 @@ class DynamicBatcher:
         single-worker semantics of the pre-pool batcher.  The pool is
         *borrowed*: closing the batcher drains its own dispatched jobs but
         never closes the pool.
+    max_queue_depth:
+        Admission-control bound on *queued* (not yet batch-formed)
+        requests.  A submission over the bound sheds the newest queued
+        request of the numerically largest (least urgent) priority level
+        when the newcomer strictly outranks it — the victim's future
+        resolves with :class:`~repro.serve.faults.Overloaded` — and is
+        otherwise itself rejected with a synchronous ``Overloaded`` raise.
+        ``None`` (default) keeps the historical unbounded queue.
+    pass_deadline:
+        When ``True``, ``run_batch`` is invoked as
+        ``run_batch(stacked, deadline=earliest)`` where ``earliest`` is
+        the soonest absolute deadline among the batch's live requests (or
+        ``None``) — the hook the server's retry path uses to stop
+        retrying once the batch can no longer make its deadline.
     """
 
     def __init__(
@@ -133,17 +162,23 @@ class DynamicBatcher:
         name: str = "",
         input_shape: Optional[Tuple[int, ...]] = None,
         pool: Optional[WorkerPool] = None,
+        max_queue_depth: Optional[int] = None,
+        pass_deadline: bool = False,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if max_wait_s < 0:
             raise ValueError("max_wait_s must be >= 0")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
         self.run_batch = run_batch
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_s)
         self.name = name or "batcher"
         self.input_shape = tuple(input_shape) if input_shape is not None else None
         self.pool = pool
+        self.max_queue_depth = max_queue_depth
+        self.pass_deadline = bool(pass_deadline)
         self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
         self._ticket = itertools.count()  # FIFO tie-break within a priority
         self._lock = threading.Lock()
@@ -153,7 +188,15 @@ class DynamicBatcher:
         self._max_batch = 0
         self._expired = 0
         self._malformed = 0
+        self._shed = 0
+        self._rejected = 0
         self._by_priority: dict = {}
+        # Queued-but-not-yet-popped requests per priority level, FIFO by
+        # ticket.  The forming thread pops the *left* end (oldest of the
+        # most urgent level); shedding pops the *right* end (newest of the
+        # least urgent level) — so deque[0] of a level is always the next
+        # request the priority queue will deliver from that level.
+        self._pending_by_priority: Dict[int, Deque[_Request]] = {}
         self._pending: List[Future] = []  # in-flight pool jobs
         # Dispatch throttle: at most num_workers batches may be in flight,
         # so excess requests wait in the *priority* queue (where HIGH can
@@ -183,19 +226,51 @@ class DynamicBatcher:
         level).  ``deadline_s`` is a relative budget: if the request is
         still queued after that many seconds it resolves with
         :class:`~repro.serve.pool.DeadlineExceeded` instead of executing.
+
+        With ``max_queue_depth`` set, a submission into a full queue
+        either sheds the newest least-urgent queued request (when this
+        request strictly outranks it) or raises
+        :class:`~repro.serve.faults.Overloaded` synchronously.
         """
         if deadline_s is not None and deadline_s < 0:
             raise ValueError("deadline_s must be >= 0")
         deadline = time.monotonic() + deadline_s if deadline_s is not None else None
         future: Future = Future()
         request = _Request(np.asarray(window), future, int(priority), deadline)
+        victim: Optional[_Request] = None
         # Enqueue under the lock so a concurrent close() either sees this
         # request before its shutdown sentinel (and drains it) or rejects
         # the submission — a request can never slip in after the drain.
         with self._lock:
             if self._closed:
                 raise RuntimeError(f"{self.name} is closed")
+            if self.max_queue_depth is not None:
+                depth = sum(len(d) for d in self._pending_by_priority.values())
+                if depth >= self.max_queue_depth:
+                    worst = max(
+                        (p for p, d in self._pending_by_priority.items() if d),
+                        default=None,
+                    )
+                    if worst is None or worst <= request.priority:
+                        # Nothing queued is less urgent: fast rejection.
+                        self._rejected += 1
+                        raise Overloaded(
+                            f"{self.name}: queue full "
+                            f"({depth}/{self.max_queue_depth}); request rejected"
+                        )
+                    victim = self._pending_by_priority[worst].pop()
+                    victim.shed = True
+                    self._shed += 1
+            self._pending_by_priority.setdefault(request.priority, deque()).append(request)
             self._queue.put((request.priority, next(self._ticket), request))
+        if victim is not None and victim.future.set_running_or_notify_cancel():
+            # Resolve outside the lock: future callbacks run inline.
+            victim.future.set_exception(
+                Overloaded(
+                    f"{self.name}: shed while queued to admit priority "
+                    f"{request.priority} traffic (queue full)"
+                )
+            )
         return future
 
     def submit_many(
@@ -231,6 +306,12 @@ class DynamicBatcher:
     # Lifecycle / introspection
     # ------------------------------------------------------------------ #
     @property
+    def queue_depth(self) -> int:
+        """Requests currently queued awaiting batch formation."""
+        with self._lock:
+            return sum(len(d) for d in self._pending_by_priority.values())
+
+    @property
     def stats(self) -> BatcherStats:
         """A frozen snapshot of the counters, taken under the lock."""
         with self._lock:
@@ -240,6 +321,9 @@ class DynamicBatcher:
                 max_batch=self._max_batch,
                 expired=self._expired,
                 malformed=self._malformed,
+                shed=self._shed,
+                rejected=self._rejected,
+                queue_depth=sum(len(d) for d in self._pending_by_priority.values()),
                 by_priority=MappingProxyType(dict(self._by_priority)),
             )
 
@@ -335,8 +419,16 @@ class DynamicBatcher:
 
         A past-deadline request is resolved immediately with
         ``DeadlineExceeded`` so it never occupies a batch slot that a
-        still-viable request could use.
+        still-viable request could use.  A request shed by admission
+        control was already resolved with ``Overloaded`` and removed from
+        the pending books — it is skipped silently here.
         """
+        with self._lock:
+            pending = self._pending_by_priority.get(request.priority)
+            if pending and pending[0] is request:
+                pending.popleft()
+        if request.shed:
+            return
         if request.deadline is not None and time.monotonic() > request.deadline:
             if request.future.set_running_or_notify_cancel():
                 with self._lock:
@@ -357,7 +449,7 @@ class DynamicBatcher:
             return
         self._dispatch_slots.acquire()
         try:
-            job = self.pool.submit(lambda: self._execute(batch))
+            job = self.pool.submit(lambda: self._execute(batch, propagate_crash=True))
         except RuntimeError:
             # A borrowed pool was closed while this batcher is still live.
             # Fall back to inline execution: the forming thread must never
@@ -366,17 +458,43 @@ class DynamicBatcher:
             self._dispatch_slots.release()
             self._execute(batch)
             return
-        job.add_done_callback(lambda _job: self._dispatch_slots.release())
+        job.add_done_callback(lambda done, batch=batch: self._job_done(batch, done))
         with self._lock:
             # Prune settled jobs so long-lived batchers hold O(workers)
             # futures, not one per batch ever dispatched.
             self._pending = [f for f in self._pending if not f.done()]
             self._pending.append(job)
 
+    def _job_done(self, batch: List[_Request], job: Future) -> None:
+        """Release the dispatch slot and settle any futures the job left.
+
+        ``_execute`` resolves every request future itself, so on a clean
+        job there is nothing to do.  But a job that *failed at the pool
+        level* — its worker crashed mid-batch, or supervision abandoned it
+        on a soft timeout — died between claiming the request futures and
+        resolving them.  Forwarding the job's error here is what upholds
+        the no-request-dropped invariant under worker faults.
+        """
+        self._dispatch_slots.release()
+        if job.cancelled():
+            error: BaseException = RuntimeError(f"{self.name}: batch job cancelled")
+        else:
+            error = job.exception()
+        if error is None:
+            return
+        for request in batch:
+            try:
+                # Legal from PENDING or RUNNING; InvalidStateError means the
+                # future already settled (normally, or a hung worker unstuck
+                # and resolved it first) or was cancelled.
+                request.future.set_exception(error)
+            except InvalidStateError:
+                pass
+
     # ------------------------------------------------------------------ #
     # Batch execution (forming thread or pool worker)
     # ------------------------------------------------------------------ #
-    def _execute(self, batch: List[_Request]) -> None:
+    def _execute(self, batch: List[_Request], propagate_crash: bool = False) -> None:
         # Claim every future before running: a future that was cancelled
         # while queued is dropped here, and a claimed (RUNNING) future can
         # no longer be cancelled, so set_result/set_exception below cannot
@@ -437,7 +555,17 @@ class DynamicBatcher:
             return
         try:
             stacked = np.stack([request.payload for request in live])
-            results = np.asarray(self.run_batch(stacked))
+            if self.pass_deadline:
+                earliest = min(
+                    (r.deadline for r in live if r.deadline is not None), default=None
+                )
+                raw = self.run_batch(stacked, deadline=earliest)
+            else:
+                raw = self.run_batch(stacked)
+            # asanyarray, not asarray: the server's degradation path marks
+            # fallback answers with an ndarray subclass (DegradedLogits),
+            # and rows handed to callers must keep that flag.
+            results = np.asanyarray(raw)
             if results.shape[0] != len(live):
                 raise RuntimeError(
                     f"run_batch returned {results.shape[0]} rows for a "
@@ -445,7 +573,15 @@ class DynamicBatcher:
                 )
         except BaseException as error:  # noqa: BLE001 — forwarded to callers
             for request in live:
-                request.future.set_exception(error)
+                try:
+                    request.future.set_exception(error)
+                except InvalidStateError:
+                    pass  # already failed by timeout abandonment
+            if propagate_crash and isinstance(error, WorkerCrash):
+                # Let the emulated crash take the pool worker down (the
+                # supervisor respawns it).  Inline execution never
+                # propagates: the forming thread must survive everything.
+                raise
             return
         with self._lock:
             self._requests += len(live)
@@ -456,4 +592,9 @@ class DynamicBatcher:
                     self._by_priority.get(request.priority, 0) + 1
                 )
         for row, request in enumerate(live):
-            request.future.set_result(results[row])
+            try:
+                request.future.set_result(results[row])
+            except InvalidStateError:
+                # Supervision abandoned this batch on a soft timeout and
+                # already failed the future; the late row is discarded.
+                pass

@@ -17,6 +17,18 @@ gesture-recognition service needs:
   to this server, classifying at high priority so live streams preempt
   queued bulk scoring.
 
+The dispatch path is fault-tolerant (see :mod:`repro.serve.faults`):
+inputs are validated at admission (non-finite samples, unsafe dtypes and
+wrong geometry fail fast with ``ValueError``), backend calls can be
+retried under a :class:`~repro.serve.faults.RetryPolicy` (retryable
+faults only, within the request deadline), a
+:class:`~repro.serve.faults.CircuitBreaker` stops hammering a failing
+backend, and an open int8 circuit can degrade to the float backend —
+answers served by the fallback are flagged with
+:class:`~repro.serve.faults.DegradedLogits`.  ``server.health()``
+aggregates breaker states, worker restarts, shed/retry counters and queue
+depth into one frozen snapshot.
+
 Backends are constructed through a process-wide cache keyed by
 ``(architecture, patch_size, backend, lowering variant)`` (plus the full
 registry kwargs), so many concurrent sessions of the same deployed
@@ -28,6 +40,7 @@ toolchain's one-binary-many-inferences model — while int8 op-set variants
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from concurrent.futures import as_completed as _as_completed
@@ -51,12 +64,47 @@ from ..models.registry import build_model, model_cache_key
 from ..nn.module import Module
 from .backends import Backend, build_float_backend, build_int8_backend
 from .batcher import BatcherStats, DynamicBatcher
+from .faults import (
+    BackendError,
+    CircuitBreaker,
+    CircuitOpen,
+    DegradedLogits,
+    HealthMonitor,
+    HealthSnapshot,
+    RetryExhausted,
+    RetryPolicy,
+    ServingError,
+    WorkerCrash,
+)
 from .pool import PoolStats, Priority, WorkerPool
 from .stream import StreamSession
 
-__all__ = ["BackendCache", "InferenceServer", "ServerStats", "get_default_cache"]
+__all__ = [
+    "BackendCache",
+    "CacheStats",
+    "InferenceServer",
+    "ServerStats",
+    "get_default_cache",
+]
 
 _BACKENDS = ("float", "int8")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of a :class:`BackendCache`'s counters."""
+
+    entries: int
+    max_entries: int
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 class BackendCache:
@@ -77,6 +125,7 @@ class BackendCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get_or_build(self, key: Tuple, factory: Callable[[], Backend]) -> Backend:
         """Return the cached backend for ``key``, building it on first use."""
@@ -97,7 +146,20 @@ class BackendCache:
             self._entries[key] = backend
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self.evictions += 1
             return backend
+
+    @property
+    def stats(self) -> CacheStats:
+        """Frozen snapshot of the cache's occupancy and counters."""
+        with self._lock:
+            return CacheStats(
+                entries=len(self._entries),
+                max_entries=self.max_entries,
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+            )
 
     def __len__(self) -> int:
         with self._lock:
@@ -108,11 +170,12 @@ class BackendCache:
             return key in self._entries
 
     def clear(self) -> None:
-        """Drop every cached backend and reset the hit/miss counters."""
+        """Drop every cached backend and reset every counter."""
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
 
 _DEFAULT_CACHE = BackendCache()
@@ -136,6 +199,8 @@ class ServerStats:
     architecture: str
     batcher: BatcherStats
     pool: Optional[PoolStats] = None
+    retries: int = 0
+    degraded: int = 0
 
     @property
     def requests(self) -> int:
@@ -199,6 +264,42 @@ class InferenceServer:
     cache:
         Backend cache to use; defaults to the process-wide cache.  Models
         passed as live ``Module`` objects are cached per object identity.
+    job_timeout_s:
+        Soft per-batch timeout for an *owned* pool: a batch stuck past
+        this budget fails with :class:`~repro.serve.faults.BackendTimeout`
+        and its worker is abandoned/respawned.  Ignored for borrowed pools
+        (their owner configures supervision).
+    retry_policy:
+        Optional :class:`~repro.serve.faults.RetryPolicy`.  Retryable
+        backend faults (and non-finite logits) are re-attempted with
+        deterministic backoff — but never past the earliest deadline in
+        the batch.  ``None`` (default) disables retries.
+    circuit_breaker:
+        ``True`` for a default :class:`~repro.serve.faults.CircuitBreaker`,
+        or a preconfigured instance (e.g. with a custom clock or error-rate
+        threshold).  ``None``/``False`` (default) disables breaking.
+    fallback:
+        ``True`` (int8 backend only) builds the float backend of the same
+        model as a degradation target: when the int8 circuit is open or
+        retries are exhausted, requests are answered by the float backend
+        instead of failing, flagged as
+        :class:`~repro.serve.faults.DegradedLogits`.
+    max_queue_depth:
+        Admission-control bound forwarded to the batcher: beyond this many
+        queued requests, LOW-priority traffic is shed first and
+        outranked submissions are rejected with
+        :class:`~repro.serve.faults.Overloaded` instead of queueing
+        without bound.
+    validate_inputs:
+        Reject non-finite (NaN/Inf) windows at :meth:`submit`/:meth:`infer`
+        with a ``ValueError`` before they reach quantization.  Geometry and
+        dtype are always validated.
+    backend_wrapper:
+        Callable applied to the constructed backend before serving —
+        the seam the fault-injection harness uses
+        (``backend_wrapper=lambda b: FaultInjectingBackend(b, schedule)``).
+        The wrapper is private to this server; the cache keeps the clean
+        backend.
     """
 
     def __init__(
@@ -215,6 +316,13 @@ class InferenceServer:
         pool: Optional[WorkerPool] = None,
         cache: Optional[BackendCache] = None,
         lower_kwargs: Optional[Dict] = None,
+        job_timeout_s: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        circuit_breaker: Union[CircuitBreaker, bool, None] = None,
+        fallback: bool = False,
+        max_queue_depth: Optional[int] = None,
+        validate_inputs: bool = True,
+        backend_wrapper: Optional[Callable[[Backend], Backend]] = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got '{backend}'")
@@ -222,8 +330,11 @@ class InferenceServer:
             raise ValueError("num_workers must be >= 1")
         if pool is not None and num_workers > 1:
             raise ValueError("pass either num_workers or an external pool, not both")
+        if fallback and backend != "int8":
+            raise ValueError("fallback degradation requires backend='int8'")
         self.backend_name = backend
         self.cache = cache if cache is not None else get_default_cache()
+        self.validate_inputs = bool(validate_inputs)
         model_kwargs = dict(model_kwargs or {})
         if patch_size is not None:
             model_kwargs["patch_size"] = patch_size
@@ -242,6 +353,7 @@ class InferenceServer:
         if isinstance(model, str):
             self.architecture = model.lower()
             key = (model_cache_key(model, **model_kwargs), backend, lowering_variant)
+            fallback_key = (model_cache_key(model, **model_kwargs), "float", ())
 
             def factory() -> Backend:
                 built = build_model(self.architecture, **model_kwargs).eval()
@@ -249,34 +361,69 @@ class InferenceServer:
                     return build_float_backend(built)
                 return build_int8_backend(built, calibration, **lower_kwargs)
 
+            def fallback_factory() -> Backend:
+                built = build_model(self.architecture, **model_kwargs).eval()
+                return build_float_backend(built)
+
         else:
             self.architecture = getattr(model, "name", type(model).__name__)
             # Key on the module object itself (identity hash): holding it in
             # the cache key pins the model alive, so a recycled id() can
             # never alias a dead model's cached backend.
             key = (("module", model), backend, lowering_variant)
+            fallback_key = (("module", model), "float", ())
 
             def factory() -> Backend:
                 if backend == "float":
                     return build_float_backend(model)
                 return build_int8_backend(model, calibration, **lower_kwargs)
 
+            def fallback_factory() -> Backend:
+                return build_float_backend(model)
+
         self.cache_key = key
         self.backend: Backend = self.cache.get_or_build(key, factory)
+        # The dispatch target: the cached backend, optionally wrapped (the
+        # wrapper — e.g. a FaultInjectingBackend — stays private to this
+        # server; the cache keeps the clean backend).
+        self._primary: Backend = (
+            backend_wrapper(self.backend) if backend_wrapper is not None else self.backend
+        )
+        self._fallback: Optional[Backend] = (
+            self.cache.get_or_build(fallback_key, fallback_factory) if fallback else None
+        )
+        self.retry_policy = retry_policy
+        if circuit_breaker is True:
+            self.breaker: Optional[CircuitBreaker] = CircuitBreaker(
+                name=f"{self.architecture}-{backend}"
+            )
+        elif isinstance(circuit_breaker, CircuitBreaker):
+            self.breaker = circuit_breaker
+        else:
+            self.breaker = None
+        self._counter_lock = threading.Lock()
+        self._retries = 0
+        self._degraded = 0
         self._owns_pool = pool is None and num_workers > 1
         self.pool = pool if pool is not None else (
-            WorkerPool(num_workers, name=f"{self.architecture}-{backend}-pool")
+            WorkerPool(
+                num_workers,
+                name=f"{self.architecture}-{backend}-pool",
+                job_timeout_s=job_timeout_s,
+            )
             if num_workers > 1
             else None
         )
         try:
             self.batcher = DynamicBatcher(
-                self.backend.run,
+                self._run_batch,
                 max_batch_size=max_batch_size,
                 max_wait_s=max_wait_s,
                 name=f"{self.architecture}-{backend}",
                 input_shape=self.backend.input_shape,
                 pool=self.pool,
+                max_queue_depth=max_queue_depth,
+                pass_deadline=True,
             )
         except BaseException:
             # Don't leak an owned pool's worker threads if the batcher
@@ -284,6 +431,145 @@ class InferenceServer:
             if self._owns_pool and self.pool is not None:
                 self.pool.close(timeout=1.0)
             raise
+        self._health = HealthMonitor()
+        self._health.register(
+            "breakers",
+            lambda: tuple(b.snapshot() for b in ((self.breaker,) if self.breaker else ())),
+        )
+        self._health.register("queue_depth", lambda: self.batcher.queue_depth)
+        self._health.register("shed", lambda: self.batcher.stats.shed)
+        self._health.register("rejected", lambda: self.batcher.stats.rejected)
+        self._health.register("expired", lambda: self.batcher.stats.expired)
+        self._health.register("retries", lambda: self._retries)
+        self._health.register("degraded_requests", lambda: self._degraded)
+        self._health.register(
+            "worker_restarts",
+            lambda: self.pool.stats.restarts if self.pool is not None else 0,
+        )
+        self._health.register(
+            "worker_timeouts",
+            lambda: self.pool.stats.timeouts if self.pool is not None else 0,
+        )
+        self._health.register(
+            "workers_alive",
+            lambda: self.pool.alive_workers if self.pool is not None else 1,
+        )
+        self._health.register("workers_total", lambda: self.num_workers)
+
+    # ------------------------------------------------------------------ #
+    # Fault-tolerant dispatch (runs on the forming thread or pool workers)
+    # ------------------------------------------------------------------ #
+    def _run_batch(
+        self, stacked: np.ndarray, deadline: Optional[float] = None
+    ) -> np.ndarray:
+        """Execute one micro-batch with retry/breaker/degradation semantics.
+
+        ``deadline`` is the earliest absolute deadline among the batch's
+        requests (from the batcher) — retries never sleep past it.
+        """
+        breaker = self.breaker
+        policy = self.retry_policy
+        if breaker is not None and not breaker.allow():
+            return self._degrade_or_raise(
+                stacked,
+                CircuitOpen(
+                    f"{self.architecture}-{self.backend_name}: circuit open, "
+                    f"call not attempted"
+                ),
+            )
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                out = np.asarray(self._primary.run(stacked), dtype=np.float64)
+                if not np.all(np.isfinite(out)):
+                    raise BackendError(
+                        f"{self.backend_name} backend produced non-finite logits",
+                        retryable=True,
+                    )
+            except BaseException as error:  # noqa: BLE001 — classified below
+                if breaker is not None:
+                    breaker.record_failure()
+                if isinstance(error, WorkerCrash):
+                    # A crash takes the executing thread down with it — a
+                    # retry loop running *on* that thread would not survive
+                    # a real native crash, so propagate immediately: the
+                    # batcher resolves the batch's futures with the typed
+                    # error and lets the pool worker die for supervision to
+                    # respawn.
+                    raise
+                if isinstance(error, ServingError):
+                    wrapped: BaseException = error
+                elif isinstance(error, TimeoutError):
+                    wrapped = BackendError(str(error), retryable=True)
+                    wrapped.__cause__ = error
+                else:
+                    wrapped = BackendError(
+                        f"{type(error).__name__}: {error}", retryable=False
+                    )
+                    wrapped.__cause__ = error
+                retry = (
+                    policy is not None
+                    and attempts < policy.max_attempts
+                    and policy.retryable(wrapped)
+                )
+                delay = policy.delay_s(attempts) if retry else 0.0
+                if retry and deadline is not None and time.monotonic() + delay >= deadline:
+                    retry = False  # the batch cannot make its deadline anyway
+                if not retry:
+                    if policy is not None and attempts > 1:
+                        wrapped = RetryExhausted(
+                            f"{attempts} attempt(s) failed; last: {wrapped}",
+                            last_error=wrapped,
+                            attempts=attempts,
+                        )
+                    return self._degrade_or_raise(stacked, wrapped)
+                with self._counter_lock:
+                    self._retries += 1
+                time.sleep(delay)
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return out
+
+    def _degrade_or_raise(
+        self, stacked: np.ndarray, error: BaseException
+    ) -> np.ndarray:
+        """Answer from the fallback backend, or raise the typed error."""
+        if self._fallback is None:
+            raise error
+        out = np.asarray(self._fallback.run(stacked), dtype=np.float64)
+        with self._counter_lock:
+            self._degraded += int(stacked.shape[0])
+        return DegradedLogits.wrap(out)
+
+    # ------------------------------------------------------------------ #
+    # Input validation
+    # ------------------------------------------------------------------ #
+    def _validate_window(self, window: np.ndarray) -> np.ndarray:
+        """Admission-time validation: dtype, geometry, finiteness."""
+        arr = np.asarray(window)
+        if arr.dtype == object or not np.can_cast(arr.dtype, np.float64):
+            raise ValueError(
+                f"window dtype {arr.dtype} cannot be safely cast to float64"
+            )
+        arr = np.asarray(arr, dtype=np.float64)
+        if arr.shape != self.input_shape:
+            channels = self.input_shape[0]
+            if arr.ndim == 2 and arr.shape[0] != channels:
+                raise ValueError(
+                    f"window has {arr.shape[0]} channel(s), expected {channels}: "
+                    f"expected a window of shape {self.input_shape}, got {arr.shape}"
+                )
+            raise ValueError(
+                f"expected a window of shape {self.input_shape}, got {arr.shape}"
+            )
+        if self.validate_inputs and not np.all(np.isfinite(arr)):
+            raise ValueError(
+                "window contains non-finite (NaN/Inf) samples; refusing to "
+                "quantize/classify it"
+            )
+        return arr
 
     # ------------------------------------------------------------------ #
     # Inference API
@@ -309,13 +595,14 @@ class InferenceServer:
         Returns a future resolving to the ``(num_classes,)`` logits row.
         ``priority`` orders batch formation (lower first); a request still
         queued after ``deadline_s`` seconds resolves with
-        :class:`~repro.serve.pool.DeadlineExceeded`.
+        :class:`~repro.serve.pool.DeadlineExceeded`.  Invalid input —
+        wrong geometry, a dtype that cannot cast safely to float64, or
+        non-finite samples — raises ``ValueError`` here, before the
+        request reaches the queue or the quantizer.  Under admission
+        control a full queue raises
+        :class:`~repro.serve.faults.Overloaded` synchronously.
         """
-        window = np.asarray(window, dtype=np.float64)
-        if window.shape != self.input_shape:
-            raise ValueError(
-                f"expected a window of shape {self.input_shape}, got {window.shape}"
-            )
+        window = self._validate_window(window)
         return self.batcher.submit(window, priority=priority, deadline_s=deadline_s)
 
     def infer_async(
@@ -329,14 +616,15 @@ class InferenceServer:
         The bulk-scoring companion of :meth:`submit`: defaults to
         :data:`Priority.LOW` so queued bulk work yields to live streams.
         Consume in submission order by iterating, or in completion order
-        via :meth:`as_completed`.
+        via :meth:`as_completed`.  Every window passes the same admission
+        validation as :meth:`submit`.
         """
-        windows = np.asarray(windows, dtype=np.float64)
-        if windows.ndim == 2:
-            windows = windows[None, ...]
+        stacked = np.asanyarray(windows)
+        if stacked.dtype != object and stacked.ndim == 2:
+            stacked = stacked[None, ...]
         return [
             self.submit(window, priority=priority, deadline_s=deadline_s)
-            for window in windows
+            for window in stacked
         ]
 
     @staticmethod
@@ -359,13 +647,17 @@ class InferenceServer:
         single windows); the result preserves input order.  Zero windows is
         a valid workload and yields an empty ``(0, num_classes)`` result.
         """
-        windows = np.asarray(windows, dtype=np.float64)
-        if windows.ndim == 2:
-            windows = windows[None, ...]
-        if windows.shape[0] == 0:
+        stacked = np.asanyarray(windows)
+        if len(stacked) == 0:
             return np.empty((0, self.num_classes), dtype=np.float64)
-        futures = self.infer_async(windows, priority=priority, deadline_s=deadline_s)
-        return np.stack([future.result(timeout=timeout) for future in futures])
+        futures = self.infer_async(stacked, priority=priority, deadline_s=deadline_s)
+        rows = [future.result(timeout=timeout) for future in futures]
+        out = np.stack(rows)
+        if any(getattr(row, "degraded", False) for row in rows):
+            # np.stack drops ndarray subclasses; restore the fallback flag
+            # if any row was answered by the degraded path.
+            out = DegradedLogits.wrap(out)
+        return out
 
     def predict(
         self,
@@ -418,12 +710,26 @@ class InferenceServer:
     @property
     def stats(self) -> ServerStats:
         """Frozen snapshot of the server's batcher (and pool) counters."""
+        with self._counter_lock:
+            retries, degraded = self._retries, self._degraded
         return ServerStats(
             backend=self.backend_name,
             architecture=self.architecture,
             batcher=self.batcher.stats,
             pool=self.pool.stats if self.pool is not None else None,
+            retries=retries,
+            degraded=degraded,
         )
+
+    def health(self) -> HealthSnapshot:
+        """One frozen health snapshot: breakers, workers, shedding, depth.
+
+        ``status`` is ``"ok"`` when every breaker is closed, nothing was
+        degraded and no worker restarted; ``"degraded"`` otherwise.  The
+        component fields carry the detail (see
+        :class:`~repro.serve.faults.HealthSnapshot`).
+        """
+        return self._health.snapshot()
 
     def close(self) -> None:
         """Drain pending requests and stop the batching worker (and pool)."""

@@ -129,8 +129,23 @@ class StreamSession:
 
         Returns the decisions produced by this chunk (possibly empty — a
         short chunk may not complete a new window).
+
+        A chunk whose channel dimension disagrees with the session's
+        electrode count is rejected with ``ValueError`` up front — feeding
+        a mis-wired stream into the windower would silently interleave
+        channels into garbage windows.  (1-D chunks are accepted for
+        single-channel sessions, as with :class:`StreamWindower`.)
         """
-        windows = self.windower.push(samples)
+        chunk = np.asarray(samples)
+        expected = self.windower.num_channels
+        channels = 1 if chunk.ndim == 1 else chunk.shape[0]
+        if chunk.ndim > 2 or channels != expected:
+            raise ValueError(
+                f"stream chunk has {channels} channel(s) "
+                f"(shape {chunk.shape}), but this session expects "
+                f"{expected} channel(s)"
+            )
+        windows = self.windower.push(chunk)
         if windows.shape[0] == 0:
             return []
         if self.preprocessor is not None:

@@ -16,10 +16,13 @@ import numpy as np
 import pytest
 
 from repro.serve import (
+    BackendTimeout,
     DeadlineExceeded,
     DynamicBatcher,
+    Overloaded,
     PoolStats,
     Priority,
+    WorkerCrash,
     WorkerPool,
 )
 
@@ -271,3 +274,249 @@ class TestPriorityAndDeadlines:
         assert stats.by_priority[int(Priority.HIGH)] == 3
         assert stats.by_priority[int(Priority.LOW)] == 5
         assert stats.requests == 8
+
+
+# --------------------------------------------------------------------- #
+# Supervision: crash detection, soft timeouts, restart budgets
+# --------------------------------------------------------------------- #
+def _wait_until(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestSupervision:
+    def test_crashed_worker_is_respawned(self):
+        def crash():
+            raise WorkerCrash("native kernel segfaulted")
+
+        with WorkerPool(num_workers=2, supervise_interval_s=0.005) as pool:
+            doomed = pool.submit(crash)
+            with pytest.raises(WorkerCrash):
+                doomed.result(timeout=10.0)
+            # Supervision notices the dead thread and refills the slot.
+            assert _wait_until(lambda: pool.alive_workers == 2)
+            assert _wait_until(lambda: pool.stats.restarts >= 1)
+            # The respawned worker actually serves traffic.
+            assert pool.submit(lambda: 41 + 1).result(timeout=10.0) == 42
+        stats = pool.stats
+        assert stats.crashes >= 1
+        assert stats.failures >= 1
+
+    def test_hung_job_fails_fast_and_worker_is_abandoned(self):
+        release = threading.Event()
+
+        def hang():
+            release.wait(timeout=10.0)
+            return "late"
+
+        pool = WorkerPool(num_workers=2, job_timeout_s=0.05, supervise_interval_s=0.005)
+        try:
+            stuck = pool.submit(hang)
+            start = time.monotonic()
+            with pytest.raises(BackendTimeout):
+                stuck.result(timeout=10.0)
+            # The caller got its answer near the soft timeout, not after
+            # the full 10 s hang.
+            assert time.monotonic() - start < 5.0
+            assert _wait_until(lambda: pool.alive_workers == 2)
+            assert pool.stats.timeouts == 1
+            # A fresh worker owns the slot; quick jobs still flow.
+            assert pool.submit(lambda: "ok").result(timeout=10.0) == "ok"
+        finally:
+            release.set()  # unstick the abandoned thread so close() is clean
+            pool.close()
+
+    def test_late_result_of_abandoned_job_is_discarded(self):
+        release = threading.Event()
+
+        def hang():
+            release.wait(timeout=10.0)
+            return "late"
+
+        pool = WorkerPool(num_workers=1, job_timeout_s=0.05, supervise_interval_s=0.005)
+        try:
+            stuck = pool.submit(hang)
+            with pytest.raises(BackendTimeout):
+                stuck.result(timeout=10.0)
+            release.set()  # the abandoned thread now finishes...
+            time.sleep(0.1)
+            # ...but its late result cannot overwrite the timeout verdict.
+            with pytest.raises(BackendTimeout):
+                stuck.result(timeout=0)
+        finally:
+            release.set()
+            pool.close()
+
+    def test_restart_budget_exhaustion_shrinks_the_pool(self):
+        def crash():
+            raise WorkerCrash("again")
+
+        with WorkerPool(num_workers=2, max_restarts=1, supervise_interval_s=0.005) as pool:
+            first = pool.submit(crash)
+            with pytest.raises(WorkerCrash):
+                first.result(timeout=10.0)
+            assert _wait_until(lambda: pool.stats.restarts == 1)
+            second = pool.submit(crash)
+            with pytest.raises(WorkerCrash):
+                second.result(timeout=10.0)
+            # Budget spent: the second dead slot stays dead.
+            assert _wait_until(lambda: pool.alive_workers == 1)
+            assert pool.stats.restarts == 1
+            # The surviving worker still serves.
+            assert pool.submit(lambda: 7).result(timeout=10.0) == 7
+
+    def test_supervised_pool_counters_stay_balanced(self):
+        def crash():
+            raise WorkerCrash("boom")
+
+        with WorkerPool(num_workers=3, supervise_interval_s=0.005) as pool:
+            futures = [pool.submit(lambda i=i: i) for i in range(10)]
+            doomed = pool.submit(crash)
+            more = [pool.submit(lambda i=i: -i) for i in range(10)]
+            assert [f.result(timeout=10.0) for f in futures] == list(range(10))
+            with pytest.raises(WorkerCrash):
+                doomed.result(timeout=10.0)
+            assert [f.result(timeout=10.0) for f in more] == [-i for i in range(10)]
+        stats = pool.stats
+        assert sum(stats.per_worker) == stats.jobs == 21
+        assert stats.failures == 1
+
+
+# --------------------------------------------------------------------- #
+# Admission control and load shedding
+# --------------------------------------------------------------------- #
+class TestLoadShedding:
+    def _blocked_batcher(self, max_queue_depth):
+        """A batcher whose (single) forming thread is stuck in the backend,
+        so submissions pile up in the queue deterministically."""
+        release = threading.Event()
+        entered = threading.Event()
+
+        def blocking_backend(batch):
+            entered.set()
+            release.wait(timeout=10.0)
+            return np.asarray(batch)
+
+        batcher = DynamicBatcher(
+            blocking_backend,
+            max_batch_size=1,
+            max_wait_s=0.0,
+            max_queue_depth=max_queue_depth,
+        )
+        plug = batcher.submit(np.array([99]))  # occupies the forming thread
+        assert entered.wait(timeout=10.0)
+        return batcher, release, plug
+
+    def test_full_queue_rejects_equal_priority_synchronously(self):
+        batcher, release, plug = self._blocked_batcher(max_queue_depth=2)
+        try:
+            queued = [batcher.submit(np.array([i]), priority=Priority.LOW) for i in range(2)]
+            with pytest.raises(Overloaded):
+                batcher.submit(np.array([5]), priority=Priority.LOW)
+            release.set()
+            assert [int(f.result(timeout=10.0)[0]) for f in queued] == [0, 1]
+            plug.result(timeout=10.0)
+        finally:
+            release.set()
+            batcher.close()
+        stats = batcher.stats
+        assert stats.rejected == 1
+        assert stats.shed == 0
+
+    def test_high_priority_sheds_newest_low_when_full(self):
+        batcher, release, plug = self._blocked_batcher(max_queue_depth=2)
+        try:
+            low_old = batcher.submit(np.array([1]), priority=Priority.LOW)
+            low_new = batcher.submit(np.array([2]), priority=Priority.LOW)
+            high = batcher.submit(np.array([3]), priority=Priority.HIGH)
+            # The newest LOW was evicted to admit the HIGH request...
+            with pytest.raises(Overloaded):
+                low_new.result(timeout=10.0)
+            release.set()
+            # ...and both survivors are served.
+            assert int(high.result(timeout=10.0)[0]) == 3
+            assert int(low_old.result(timeout=10.0)[0]) == 1
+            plug.result(timeout=10.0)
+        finally:
+            release.set()
+            batcher.close()
+        stats = batcher.stats
+        assert stats.shed == 1
+        assert stats.rejected == 0
+
+    def test_low_never_sheds_high(self):
+        batcher, release, plug = self._blocked_batcher(max_queue_depth=2)
+        try:
+            highs = [batcher.submit(np.array([i]), priority=Priority.HIGH) for i in range(2)]
+            with pytest.raises(Overloaded):
+                batcher.submit(np.array([9]), priority=Priority.LOW)
+            release.set()
+            assert [int(f.result(timeout=10.0)[0]) for f in highs] == [0, 1]
+            plug.result(timeout=10.0)
+        finally:
+            release.set()
+            batcher.close()
+        assert batcher.stats.rejected == 1
+        assert batcher.stats.shed == 0
+
+    def test_queue_depth_stat_tracks_pending(self):
+        batcher, release, plug = self._blocked_batcher(max_queue_depth=8)
+        try:
+            for i in range(3):
+                batcher.submit(np.array([i]))
+            assert batcher.stats.queue_depth == 3
+            release.set()
+        finally:
+            release.set()
+            batcher.close()
+        assert batcher.stats.queue_depth == 0
+
+    def test_queue_depth_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            DynamicBatcher(echo_batch, max_queue_depth=0)
+
+    def test_deadline_expiry_under_sustained_saturation(self):
+        """The satellite scenario: a saturating mixed-priority storm on a
+        slow backend.  HIGH requests (generous deadlines) must all be
+        served; LOW requests (tight deadlines, shed first) end up served,
+        expired or shed — and every single future resolves."""
+        backend = RecordingBackend(delay_s=0.01)
+        with DynamicBatcher(
+            backend, max_batch_size=2, max_wait_s=0.0, max_queue_depth=8
+        ) as batcher:
+            high, low, rejected = [], [], 0
+            for i in range(60):
+                try:
+                    if i % 3 == 0:
+                        high.append(batcher.submit(np.array([i]), priority=Priority.HIGH, deadline_s=30.0))
+                    else:
+                        low.append(batcher.submit(np.array([i]), priority=Priority.LOW, deadline_s=0.02))
+                except Overloaded:
+                    rejected += 1
+            served_low = expired_low = shed_low = 0
+            for future in high:
+                future.result(timeout=30.0)  # every HIGH answered
+            for future in low:
+                try:
+                    future.result(timeout=30.0)
+                    served_low += 1
+                except DeadlineExceeded:
+                    expired_low += 1
+                except Overloaded:
+                    shed_low += 1
+        # No request is unaccounted for.
+        assert served_low + expired_low + shed_low == len(low)
+        assert expired_low + shed_low > 0  # the storm actually saturated
+        stats = batcher.stats
+        assert stats.shed == shed_low
+        assert stats.rejected == rejected
+        assert stats.expired == expired_low
+        assert stats.requests == len(high) + served_low
+        assert stats.queue_depth == 0
+        # Priority accounting matches what was actually served.
+        assert stats.by_priority.get(int(Priority.HIGH), 0) == len(high)
+        assert stats.by_priority.get(int(Priority.LOW), 0) == served_low

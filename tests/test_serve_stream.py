@@ -209,3 +209,28 @@ class TestStreamSession:
         # server batches live sessions ahead of queued bulk scoring.
         assert by_priority.get(int(Priority.HIGH), 0) == sliding_window_count(240, 60, 30)
         assert int(Priority.LOW) not in by_priority
+
+    def test_push_rejects_channel_mismatch_before_windowing(self):
+        def classify(windows):
+            return np.zeros(windows.shape[0], dtype=np.int64)
+
+        session = StreamSession(classify, window=60, slide=30, num_channels=4)
+        with pytest.raises(ValueError, match="expects 4 channel"):
+            session.push(np.zeros((3, 100)))
+        with pytest.raises(ValueError, match="expects 4 channel"):
+            session.push(np.zeros(100))  # 1-D chunk implies 1 channel
+        with pytest.raises(ValueError, match="channel"):
+            session.push(np.zeros((4, 2, 50)))  # 3-D chunk is never valid
+        # The rejected chunks never reached the windower's buffer.
+        assert session.samples_seen == 0
+        session.push(np.zeros((4, 100)))
+        assert session.samples_seen == 100
+
+    def test_push_accepts_1d_chunk_for_single_channel_session(self):
+        def classify(windows):
+            return np.zeros(windows.shape[0], dtype=np.int64)
+
+        session = StreamSession(classify, window=20, slide=10, num_channels=1)
+        decisions = session.push(np.zeros(25))
+        assert len(decisions) == 1
+        assert session.samples_seen == 25
