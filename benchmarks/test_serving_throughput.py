@@ -652,3 +652,56 @@ def test_idle_fault_layer_costs_nothing(model, windows, cache):
         f"idle fault layer cost {1 - armed / bare:.0%} of serving throughput "
         f"({armed:.0f} vs {bare:.0f} windows/s)"
     )
+
+
+def test_compile_wall_time_per_config(windows):
+    """Record the deploy compiler's lowering wall-time per registry config.
+
+    The pass-pipeline refactor moved the whole lowering into a
+    PassManager; this benchmark keeps its cost visible in the
+    BENCH_serving.json trajectory (default pipeline vs the optimizing
+    pipeline, per architecture) and gates only a generous absolute
+    ceiling — calibration dominates, and a pathological pass would blow
+    straight through it.
+    """
+    from repro.deploy import lower_to_int8, trace_model
+
+    calibration = np.random.default_rng(5).normal(
+        size=(16, GEOMETRY["num_channels"], GEOMETRY["window_samples"])
+    )
+    configs = [("bio1", 10), ("bio2", 10), ("temponet", None)]
+    rows = []
+    for arch, patch in configs:
+        kwargs = dict(GEOMETRY)
+        if patch is not None:
+            kwargs["patch_size"] = patch
+        graph = trace_model(build_model(arch, **kwargs).eval())
+        timings = {}
+        for label, lower_kwargs in (("default", {}), ("optimized", {"optimize": True})):
+            best = float("inf")
+            for _ in range(2):
+                start = time.perf_counter()
+                quantized = lower_to_int8(graph, calibration, **lower_kwargs)
+                elapsed = time.perf_counter() - start
+                best = min(best, elapsed)
+                # The manifest's per-pass timers nest inside this run's
+                # total (compare against the same run, not the best one).
+                assert sum(r.wall_ms for r in quantized.manifest) <= elapsed * 1e3 + 1.0
+            timings[label] = best
+        rows.append((arch, timings["default"], timings["optimized"]))
+        record_bench(
+            f"compile_{arch}",
+            default_ms=timings["default"] * 1e3,
+            optimized_ms=timings["optimized"] * 1e3,
+        )
+        assert timings["optimized"] < 10.0, (
+            f"lowering {arch} took {timings['optimized']:.1f}s"
+        )
+    report(
+        "Deploy compiler wall-time per config (best of 2)",
+        f"{'config':>10} {'default ms':>11} {'optimized ms':>13}\n"
+        + "\n".join(
+            f"{arch:>10} {default * 1e3:>11.1f} {optimized * 1e3:>13.1f}"
+            for arch, default, optimized in rows
+        ),
+    )

@@ -73,6 +73,7 @@ def main() -> int:
         root / "CHANGES.md",
         root / "docs" / "architecture.md",
         root / "docs" / "quantization.md",
+        root / "docs" / "compiler.md",
     ]
     documents = sorted(set(required) | set((root / "docs").glob("*.md")))
     problems = [

@@ -9,8 +9,14 @@ compiled into C.  This package reproduces that flow on the host:
   graph IR and tracers for Bioformer and TEMPONet;
 * :mod:`repro.deploy.engine` — a float reference executor (trace validation
   and calibration);
-* :mod:`repro.deploy.lowering` — int8 lowering with fixed-point
-  requantisation constants;
+* :mod:`repro.deploy.lowering` — the int8 lowering data model (activation /
+  constant / node / graph dataclasses, fixed-point requantisation encoding)
+  and the stable :func:`~repro.deploy.lowering.lower_to_int8` entry point;
+* :mod:`repro.deploy.passes` — the deploy compiler: a
+  :class:`~repro.deploy.passes.PassManager` running calibration, weight
+  quantisation, GEMM tile planning, LUT substitution and the opt-in
+  optimization passes (requant folding, conv→pool fusion, dead-node
+  elimination) as validated, bitwise-pinned graph passes;
 * :mod:`repro.deploy.int_engine` — integer-only inference (int8/int32 with
   I-BERT non-linearities), i.e. the on-target numerics emulated bit-level;
 * :mod:`repro.deploy.memory` — activation arena planning (L2);
@@ -36,6 +42,22 @@ from .lowering import (
     quantize_multiplier,
 )
 from .memory import BufferAssignment, LiveRange, MemoryPlan, live_ranges, plan_activation_memory
+from .passes import (
+    CalibrateActivationsPass,
+    DeadNodeEliminationPass,
+    FoldRequantPass,
+    FuseConvPoolPass,
+    GraphPass,
+    LoweringConfig,
+    LutSubstitutionPass,
+    PassManager,
+    PassPipelineError,
+    PassRecord,
+    PlanGemmTilesPass,
+    QuantizeWeightsPass,
+    build_pass_pipeline,
+    compile_graph,
+)
 from .report import GraphDeploymentReport, deploy_graph, graph_to_profile
 from .tiling import LayerTiling, TilingConfig, TilingPlan, plan_tiling
 from .tracers import trace_bioformer, trace_model, trace_temponet
@@ -60,6 +82,20 @@ __all__ = [
     "QuantizedGraph",
     "quantize_multiplier",
     "lower_to_int8",
+    "LoweringConfig",
+    "GraphPass",
+    "PassRecord",
+    "PassPipelineError",
+    "PassManager",
+    "CalibrateActivationsPass",
+    "QuantizeWeightsPass",
+    "PlanGemmTilesPass",
+    "LutSubstitutionPass",
+    "FoldRequantPass",
+    "FuseConvPoolPass",
+    "DeadNodeEliminationPass",
+    "build_pass_pipeline",
+    "compile_graph",
     "LiveRange",
     "BufferAssignment",
     "MemoryPlan",

@@ -73,6 +73,20 @@ _GEMM_KERNEL_FOR_OP = {
     "matmul": "net_matmul_gemm_i8",
 }
 
+#: Name fragment appended per absorbed kernel when the compiler's fusion
+#: passes (:mod:`repro.deploy.passes`) folded elementwise tails / pooling
+#: into a MAC node: ``net_conv1d_im2col_affine_relu_pool_i8`` runs the conv
+#: GEMM and applies BN-affine, ReLU and the average pool on the output tile
+#: before it leaves L1.  The fused kernels consume the same per-stage
+#: multiplier/shift macros as their standalone peers (fusion never collapses
+#: requantisation stages — that would double-round), so numerics are pinned.
+_FUSED_TAG_FOR_OP = {
+    "channel_affine": "affine",
+    "relu": "relu",
+    "gelu": "gelu",
+    "avgpool1d": "pool",
+}
+
 
 @dataclass
 class GeneratedSource:
@@ -141,14 +155,34 @@ class CodeGenerator:
             memory_plan if memory_plan is not None else plan_activation_memory(self.graph)
         )
 
-    def _kernel_for(self, node: GraphNode) -> str:
-        """The kernel implementing ``node`` under the active op set."""
+    def _kernel_single(self, node: GraphNode) -> str:
+        """The kernel implementing one unfused kernel under the active op set."""
         lowered = self.quantized.nodes[node.name]
         if self.use_lut and lowered.luts:
             return _LUT_KERNEL_FOR_OP[node.op]
         if self.use_gemm and lowered.gemm is not None and node.op in _GEMM_KERNEL_FOR_OP:
             return _GEMM_KERNEL_FOR_OP[node.op]
         return _KERNEL_FOR_OP[node.op]
+
+    def _kernel_for(self, node: GraphNode) -> str:
+        """The kernel implementing ``node`` under the active op set.
+
+        A fused node names a fused kernel: the base kernel's stem plus one
+        tag per absorbed kernel (``_affine`` / ``_relu`` / ``_gelu[_lut]`` /
+        ``_pool``), in chain order.
+        """
+        if not node.is_fused:
+            return self._kernel_single(node)
+        chain = node.fusion_chain
+        base = self._kernel_single(chain[0])
+        tags = []
+        for sub in chain[1:]:
+            tag = _FUSED_TAG_FOR_OP[sub.op]
+            if sub.op == "gelu" and self.use_lut and self.quantized.nodes[sub.name].luts:
+                tag = "gelu_lut"
+            tags.append(tag)
+        stem = base[: -len("_i8")] if base.endswith("_i8") else base
+        return stem + "_" + "_".join(tags) + "_i8"
 
     # ------------------------------------------------------------------ #
     # Individual files
@@ -220,13 +254,21 @@ class CodeGenerator:
             " * evaluating the I-BERT polynomials per element.  The _gemm_ /",
             " * _im2col_ variants run the same MACs as their per-op peers but",
             " * as one (M, K) x (K, N) integer matmul per node, requantising",
-            " * once per output tile (see the _GEMM_M/_K/_N macros). */",
+            " * once per output tile (see the _GEMM_M/_K/_N macros).  Fused",
+            " * variants (tags _affine/_relu/_gelu[_lut]/_pool appended by the",
+            " * compiler's fusion passes) apply the absorbed kernels on the",
+            " * output tile in L1 using the same per-stage macros. */",
         ]
         declared = (
             set(_KERNEL_FOR_OP.values())
             | set(_LUT_KERNEL_FOR_OP.values())
             | set(_GEMM_KERNEL_FOR_OP.values())
         )
+        # Fused kernels are graph-specific: declare exactly the ones the
+        # schedule calls.
+        for node in self.graph.nodes:
+            if node.is_fused:
+                declared.add(self._kernel_for(node))
         for kernel in sorted(declared):
             lines.append(
                 f"void {kernel}(const int8_t *input, int8_t *output, const void *params);"
@@ -289,7 +331,12 @@ class CodeGenerator:
                 destination_expr = "output"
             else:
                 destination_expr = f"arena + {self.memory_plan.offset_of(node.output.name)}"
-            comment = f"/* {node.name}: {node.op} -> {list(node.output.shape)} */"
+            described_op = (
+                "+".join(sub.op for sub in node.fusion_chain)
+                if node.is_fused
+                else node.op
+            )
+            comment = f"/* {node.name}: {described_op} -> {list(node.output.shape)} */"
             lines.append(f"    {comment}")
             lines.append(
                 f"    {kernel}((const int8_t *)({source_expr}), "

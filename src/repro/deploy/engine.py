@@ -113,6 +113,16 @@ class FloatGraphExecutor:
     # Single-node dispatch
     # ------------------------------------------------------------------ #
     def _run_node(self, node: GraphNode, tensors: Dict[str, np.ndarray]) -> np.ndarray:
+        if node.is_fused:
+            # Replay the original kernels of a fused node (see
+            # repro.deploy.passes) so optimized graphs run bit-identically
+            # to their source capture in the float reference too.
+            local = dict(tensors)
+            value = None
+            for sub in node.fusion_chain:
+                value = self._run_node(sub, local)
+                local[sub.output.name] = value
+            return value
         op = node.op
         x = tensors[node.inputs[0]]
         if op == "conv1d":

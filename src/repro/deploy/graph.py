@@ -225,6 +225,27 @@ class GraphNode:
             raise ValueError(f"node '{self.name}' has no inputs")
 
     # ------------------------------------------------------------------ #
+    # Fusion
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fused(self) -> bool:
+        """Whether this node is a fusion of several original kernels."""
+        return bool(self.attrs.get("fused_chain"))
+
+    @property
+    def fusion_chain(self) -> Tuple["GraphNode", ...]:
+        """The original kernels this node executes, in order.
+
+        A fused node (produced by the optimization passes in
+        :mod:`repro.deploy.passes`) carries its constituent kernels in
+        ``attrs["fused_chain"]``; an ordinary node is its own chain of one.
+        The executors replay the chain element-wise, which is what makes
+        fusion bitwise-exact by construction.
+        """
+        chain = self.attrs.get("fused_chain")
+        return tuple(chain) if chain else (self,)
+
+    # ------------------------------------------------------------------ #
     # Size accounting
     # ------------------------------------------------------------------ #
     @property
@@ -235,6 +256,10 @@ class GraphNode:
     @property
     def macs(self) -> int:
         """Multiply-accumulate operations performed by the node (batch 1)."""
+        if self.is_fused:
+            # Each constituent kernel keeps its original output spec, so the
+            # chain sum is exactly the unfused accounting.
+            return sum(sub.macs for sub in self.fusion_chain)
         if self.op == "conv1d":
             out_channels, in_channels, kernel = self.weights["weight"].shape
             out_length = self.output.shape[-1]
@@ -253,6 +278,8 @@ class GraphNode:
     @property
     def elementwise_ops(self) -> int:
         """Non-MAC elementwise operations performed by the node (batch 1)."""
+        if self.is_fused:
+            return sum(sub.elementwise_ops for sub in self.fusion_chain)
         size = self.output.num_elements
         if self.op in ("relu", "add", "append_token", "add_positional", "channel_affine"):
             return size
@@ -290,11 +317,26 @@ class ComputeGraph:
     # Validation / lookup
     # ------------------------------------------------------------------ #
     def validate(self) -> None:
-        """Check SSA form: unique names, inputs defined before use."""
+        """Check SSA form: unique names, inputs defined before use.
+
+        Enforced invariants (the pass pipeline re-validates after every
+        transformation pass, so a buggy pass fails here, loudly, instead of
+        corrupting downstream consumers):
+
+        * at least one node;
+        * node names are unique (payload dicts key on them);
+        * every consumed tensor is the graph input or the output of an
+          *earlier* node — no dangling inputs, no forward references;
+        * every output tensor name is defined exactly once.
+        """
         if not self.nodes:
             raise ValueError("a ComputeGraph needs at least one node")
         defined = {self.graph_input.name}
+        node_names = set()
         for node in self.nodes:
+            if node.name in node_names:
+                raise ValueError(f"node name '{node.name}' is used twice")
+            node_names.add(node.name)
             for tensor_name in node.inputs:
                 if tensor_name not in defined:
                     raise ValueError(

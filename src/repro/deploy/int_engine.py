@@ -282,6 +282,18 @@ class IntegerGraphExecutor:
     # Single-node dispatch
     # ------------------------------------------------------------------ #
     def _run_node(self, node: GraphNode, tensors: Dict[str, np.ndarray]) -> np.ndarray:
+        if node.is_fused:
+            # A fused node (see repro.deploy.passes) replays its original
+            # kernel chain with the per-stage requantisers intact — the
+            # payloads of absorbed nodes stay in ``quantized.nodes`` — so
+            # fusion is bitwise-identical by construction.  Intermediates
+            # live only in the local scope (on target: registers/L1).
+            local = dict(tensors)
+            value = None
+            for sub in node.fusion_chain:
+                value = self._run_node(sub, local)
+                local[sub.output.name] = value
+            return value
         lowered = self.quantized.nodes[node.name]
         op = node.op
         q_x = tensors[node.inputs[0]]

@@ -13,24 +13,31 @@ convention:
   accumulator and the next activation is encoded as a fixed-point multiplier
   plus arithmetic shift, so inference needs no floating point at all.
 
-:func:`lower_to_int8` performs that conversion: it runs the float executor
-on a calibration batch to observe every activation range, quantises the
-constants of each node, and emits a :class:`QuantizedGraph` that the integer
-executor (:mod:`repro.deploy.int_engine`) and the code generator
-(:mod:`repro.deploy.codegen`) consume.
+:func:`lower_to_int8` performs that conversion.  Since the pass-pipeline
+refactor it is a thin entry point over the deploy compiler in
+:mod:`repro.deploy.passes`: calibration, weight quantisation, GEMM tile
+planning and LUT substitution each run as one :class:`~repro.deploy.passes.GraphPass`
+under a :class:`~repro.deploy.passes.PassManager`, and the resulting
+:class:`QuantizedGraph` is consumed by the integer executor
+(:mod:`repro.deploy.int_engine`) and the code generator
+(:mod:`repro.deploy.codegen`).  This module keeps the lowering *data model*
+(activation/constant/node/graph dataclasses, the fixed-point multiplier
+encoding, the LUT builders) that both the passes and the consumers share.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..quant import ibert
 from ..quant.quantizers import QuantizationSpec, compute_scale_zero_point, quantize
-from .engine import FloatGraphExecutor
-from .graph import LUT_OPERATORS, ComputeGraph, GraphNode, LookupTable
+from .graph import ComputeGraph, GraphNode, LookupTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .passes import LoweringConfig, PassRecord
 
 __all__ = [
     "ActivationQuantization",
@@ -148,6 +155,11 @@ class QuantizedNode:
     #: populated for :data:`~repro.deploy.graph.LUT_OPERATORS` nodes when the
     #: graph was lowered with ``use_lut=True``.
     luts: Dict[str, LookupTable] = field(default_factory=dict)
+    #: Names of the nodes this node absorbed, in execution order, when an
+    #: optimization pass fused them into it (empty for ordinary nodes).  The
+    #: absorbed nodes' payloads stay in :attr:`QuantizedGraph.nodes` so the
+    #: executors and the code generator keep addressing them by name.
+    fused: Tuple[str, ...] = ()
 
     @property
     def weight_bytes(self) -> int:
@@ -162,12 +174,27 @@ class QuantizedNode:
 
 @dataclass
 class QuantizedGraph:
-    """An int8-lowered inference graph ready for execution / code generation."""
+    """An int8-lowered inference graph ready for execution / code generation.
+
+    ``graph`` is the executable graph — identical to ``source_graph`` under
+    the default pipeline, structurally smaller (fused / dead-node-eliminated)
+    when the optimization passes ran.  ``nodes`` keeps one payload per
+    *original* node, including nodes absorbed by fusion, so every consumer
+    keeps addressing constants, requantisers and tables by name.
+    """
 
     graph: ComputeGraph
     activations: Dict[str, ActivationQuantization]
     nodes: Dict[str, QuantizedNode]
     weight_spec: QuantizationSpec
+    #: Per-pass execution records of the compiler pipeline that produced the
+    #: graph (:class:`~repro.deploy.passes.PassRecord` entries), shown by the
+    #: deployment report.  Empty for hand-built graphs.
+    manifest: Tuple["PassRecord", ...] = ()
+    #: The traced graph the compiler started from (before any fusion).
+    source_graph: Optional[ComputeGraph] = None
+    #: The resolved :class:`~repro.deploy.passes.LoweringConfig`.
+    config: Optional["LoweringConfig"] = None
 
     @property
     def name(self) -> str:
@@ -281,12 +308,20 @@ def build_softmax_exp_lut(in_act: ActivationQuantization) -> LookupTable:
 def lower_to_int8(
     graph: ComputeGraph,
     calibration_inputs: np.ndarray,
-    weight_bits: int = 8,
-    activation_bits: int = 8,
-    calibration_percentile: float = 99.9,
-    use_lut: bool = True,
+    weight_bits: Optional[int] = None,
+    activation_bits: Optional[int] = None,
+    calibration_percentile: Optional[float] = None,
+    use_lut: Optional[bool] = None,
+    config: Optional["LoweringConfig"] = None,
+    optimize: bool = False,
 ) -> QuantizedGraph:
     """Quantise a traced graph to int8 using a calibration batch.
+
+    This is the stable entry point of the deploy compiler: it resolves the
+    configuration and runs the pass pipeline of
+    :func:`repro.deploy.passes.compile_graph` (calibrate-activations →
+    quantize-weights → plan-gemm-tiles → lut-substitution, plus the
+    optimization passes when enabled).
 
     Parameters
     ----------
@@ -295,148 +330,37 @@ def lower_to_int8(
     calibration_inputs:
         ``(batch, channels, samples)`` array of representative inputs used to
         pick the activation scales.
-    weight_bits, activation_bits:
-        Integer precision (8 in the paper; other widths are supported for
-        ablation studies).
-    calibration_percentile:
-        Percentile of ``|activation|`` covered by the activation scale;
-        clipping a tiny tail of outliers (99.9 by default) is standard
-        practice and measurably improves post-training accuracy.
-    use_lut:
-        Tabulate the I-BERT GELU and softmax-``exp`` nonlinearities into
-        per-configuration lookup tables (:class:`~repro.deploy.graph.LookupTable`)
-        so the integer executor and the generated kernels run them as a
-        single gather.  The tables are built from the legacy elementwise
-        kernels over the full input domain, so results are bit-identical
-        either way; pass ``False`` to keep the lowered graph on the
-        elementwise path (the cross-checking baseline).
+    weight_bits, activation_bits, calibration_percentile, use_lut:
+        Deprecated aliases for the matching :class:`~repro.deploy.passes.LoweringConfig`
+        fields, kept so existing callers (and ``BackendCache`` keys built
+        from ``lower_kwargs``) keep working.  ``None`` means "use the config
+        (or its default)"; an explicit value overrides ``config``.
+    config:
+        A :class:`~repro.deploy.passes.LoweringConfig` selecting precision,
+        the LUT op set and the optimization passes.  Defaults to
+        ``LoweringConfig()``, which reproduces the pre-pipeline lowering
+        bit for bit (same graph topology, same constants and requantisers).
+    optimize:
+        Shorthand for enabling all optimization passes
+        (requant folding, conv→pool fusion, dead-node elimination) on top of
+        ``config`` — equivalent to ``LoweringConfig.optimized()``.  The
+        optimized graph produces bitwise-identical logits; only the node
+        schedule shrinks.
 
     Returns
     -------
-    A :class:`QuantizedGraph` bundling the original graph, the per-tensor
-    activation scales, the integer constants, the requantisation factors and
-    (by default) the nonlinearity lookup tables.
+    A :class:`QuantizedGraph` bundling the executable graph, the per-tensor
+    activation scales, the integer constants, the requantisation factors,
+    (by default) the nonlinearity lookup tables, and the pass manifest.
     """
-    executor = FloatGraphExecutor(graph)
-    recorded = executor.run_recording(calibration_inputs)
+    from .passes import LoweringConfig, compile_graph
 
-    activations: Dict[str, ActivationQuantization] = {}
-    for tensor_name, values in recorded.items():
-        activations[tensor_name] = ActivationQuantization(
-            name=tensor_name,
-            scale=_symmetric_scale(values, bits=activation_bits, percentile=calibration_percentile),
-            bits=activation_bits,
-        )
-    # Softmax outputs are probabilities in [0, 1]; pin their scale so the
-    # attention weighting keeps maximum resolution regardless of calibration.
-    for node in graph.nodes:
-        if node.op == "softmax":
-            activations[node.output.name] = ActivationQuantization(
-                name=node.output.name,
-                scale=1.0 / float(2 ** (activation_bits - 1) - 1),
-                bits=activation_bits,
-            )
-
-    weight_spec = QuantizationSpec(bits=weight_bits, symmetric=True, signed=True)
-    quantized_nodes: Dict[str, QuantizedNode] = {}
-    for node in graph.nodes:
-        lowered = QuantizedNode(node=node)
-        input_scale = activations[node.inputs[0]].scale
-        output_scale = activations[node.output.name].scale
-
-        if node.op in ("conv1d", "linear"):
-            weight = _quantize_weight(node.weights["weight"], weight_spec)
-            lowered.constants["weight"] = weight
-            if "bias" in node.weights:
-                bias_scale = input_scale * weight.scale
-                bias = np.round(node.weights["bias"] / bias_scale).astype(np.int64)
-                lowered.constants["bias"] = QuantizedConstant(
-                    values=bias, scale=bias_scale, dtype="int32"
-                )
-            lowered.requantizers["output"] = quantize_multiplier(
-                input_scale * weight.scale / output_scale
-            )
-            multiplier, shift = lowered.requantizers["output"]
-            if node.op == "conv1d":
-                out_channels, in_channels, kernel = node.weights["weight"].shape
-                lowered.gemm = GemmTileInfo(
-                    m=int(node.output.shape[-1]),
-                    k=int(in_channels * kernel),
-                    n=int(out_channels),
-                    multiplier=multiplier,
-                    shift=shift,
-                )
-            else:
-                out_features, in_features = node.weights["weight"].shape
-                lowered.gemm = GemmTileInfo(
-                    m=int(node.output.num_elements // out_features),
-                    k=int(in_features),
-                    n=int(out_features),
-                    multiplier=multiplier,
-                    shift=shift,
-                )
-        elif node.op == "matmul":
-            other_scale = activations[node.inputs[1]].scale
-            factor = input_scale * other_scale * float(node.attrs.get("scale", 1.0))
-            lowered.requantizers["output"] = quantize_multiplier(factor / output_scale)
-            multiplier, shift = lowered.requantizers["output"]
-            lowered.gemm = GemmTileInfo(
-                m=int(node.output.shape[-2]),
-                k=int(node.attrs["inner_dim"]),
-                n=int(node.output.shape[-1]),
-                multiplier=multiplier,
-                shift=shift,
-            )
-        elif node.op == "channel_affine":
-            scale_const = node.weights["scale"]
-            shift_const = node.weights["shift"]
-            scale_q = _quantize_weight(scale_const, weight_spec)
-            lowered.constants["scale"] = scale_q
-            shift_scale = input_scale * scale_q.scale
-            lowered.constants["shift"] = QuantizedConstant(
-                values=np.round(shift_const / shift_scale).astype(np.int64),
-                scale=shift_scale,
-                dtype="int32",
-            )
-            lowered.requantizers["output"] = quantize_multiplier(shift_scale / output_scale)
-        elif node.op in ("append_token", "add_positional"):
-            key = "token" if node.op == "append_token" else "positions"
-            constant = node.weights[key]
-            lowered.constants[key] = QuantizedConstant(
-                values=np.round(constant / output_scale).astype(np.int32),
-                scale=output_scale,
-                dtype="int8",
-            )
-            lowered.requantizers["input"] = quantize_multiplier(input_scale / output_scale)
-        elif node.op == "add":
-            other_scale = activations[node.inputs[1]].scale
-            lowered.requantizers["lhs"] = quantize_multiplier(input_scale / output_scale)
-            lowered.requantizers["rhs"] = quantize_multiplier(other_scale / output_scale)
-        elif node.op in ("layernorm", "gelu", "softmax", "relu", "avgpool1d", "mean_tokens"):
-            lowered.requantizers["output"] = quantize_multiplier(
-                max(input_scale / output_scale, 1e-30)
-            )
-            if use_lut and node.op in LUT_OPERATORS:
-                in_act = activations[node.inputs[0]]
-                out_act = activations[node.output.name]
-                if node.op == "gelu":
-                    lowered.luts["gelu"] = build_gelu_lut(in_act, out_act)
-                else:
-                    lowered.luts["exp"] = build_softmax_exp_lut(in_act)
-            if node.op == "layernorm":
-                # LayerNorm keeps its affine parameters in float; they are a
-                # negligible 2*C values folded into the requantisation step.
-                lowered.constants["weight"] = QuantizedConstant(
-                    values=node.weights["weight"].copy(), scale=1.0, dtype="int32"
-                )
-                lowered.constants["bias"] = QuantizedConstant(
-                    values=node.weights["bias"].copy(), scale=1.0, dtype="int32"
-                )
-        quantized_nodes[node.name] = lowered
-
-    return QuantizedGraph(
-        graph=graph,
-        activations=activations,
-        nodes=quantized_nodes,
-        weight_spec=weight_spec,
+    resolved = LoweringConfig.resolve(
+        config=config,
+        optimize=optimize,
+        weight_bits=weight_bits,
+        activation_bits=activation_bits,
+        calibration_percentile=calibration_percentile,
+        use_lut=use_lut,
     )
+    return compile_graph(graph, calibration_inputs, resolved)

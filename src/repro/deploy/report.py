@@ -19,7 +19,7 @@ integer numerics end-to-end.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
 import numpy as np
 
@@ -36,6 +36,9 @@ from .lowering import QuantizedGraph, lower_to_int8
 from .memory import MemoryPlan, plan_activation_memory
 from .tiling import TilingConfig, TilingPlan, plan_tiling
 from .tracers import trace_model
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from .passes import LoweringConfig
 
 __all__ = ["graph_to_profile", "GraphDeploymentReport", "deploy_graph"]
 
@@ -152,7 +155,25 @@ class GraphDeploymentReport:
 
     def render(self) -> str:
         """Human-readable deployment report."""
-        rows = [
+        rows = []
+        if self.quantized.manifest:
+            rows.append(
+                (
+                    "compiler passes",
+                    " -> ".join(record.name for record in self.quantized.manifest),
+                )
+            )
+        source = self.quantized.source_graph
+        if source is not None and len(self.graph) != len(source):
+            rows.append(
+                (
+                    "graph nodes",
+                    f"{len(self.graph)} (fused from {len(source)})",
+                )
+            )
+        else:
+            rows.append(("graph nodes", f"{len(self.graph)}"))
+        rows += [
             ("weights (int8)", f"{self.weight_kilobytes:.1f} kB"),
             ("nonlinearity LUTs", f"{self.lut_kilobytes:.1f} kB"),
             ("peak activations", f"{self.activation_kilobytes:.1f} kB"),
@@ -191,6 +212,8 @@ def deploy_graph(
     weight_bits: int = 8,
     activation_bits: int = 8,
     use_lut: bool = True,
+    optimize: bool = False,
+    config: Optional["LoweringConfig"] = None,
     generate_code: bool = True,
 ) -> GraphDeploymentReport:
     """Run the full graph-level deployment pipeline for a trained model.
@@ -217,6 +240,15 @@ def deploy_graph(
         (default; bit-identical to the elementwise kernels, and what the
         int8 serving path runs).  ``False`` keeps the legacy elementwise
         op set in the lowered graph and the generated C schedule.
+    optimize:
+        Run the compiler's optimization passes (requant folding, conv→pool
+        fusion, dead-node elimination; see :mod:`repro.deploy.passes`) on
+        the lowered graph.  Logits stay bitwise-identical; the kernel
+        schedule, the set of activation buffers and the generated sources
+        shrink (the greedy offset packing may round the arena differently).
+    config:
+        A full :class:`~repro.deploy.passes.LoweringConfig`; overrides the
+        individual lowering kwargs when given.
     generate_code:
         Whether to run the C code generator and attach the sources.
     """
@@ -229,10 +261,15 @@ def deploy_graph(
         weight_bits=weight_bits,
         activation_bits=activation_bits,
         use_lut=use_lut,
+        optimize=optimize,
+        config=config,
     )
-    memory_plan = plan_activation_memory(graph)
-    tiling_plan = plan_tiling(graph, tiling)
-    latency = GAP8Model(gap8).latency(graph_to_profile(graph))
+    # Downstream planning runs on the *executable* graph: identical to the
+    # trace under the default pipeline, fused/smaller when optimizing.
+    compiled = quantized.graph
+    memory_plan = plan_activation_memory(compiled)
+    tiling_plan = plan_tiling(compiled, tiling)
+    latency = GAP8Model(gap8).latency(graph_to_profile(compiled))
 
     int8_accuracy = None
     float_agreement = None
@@ -257,7 +294,7 @@ def deploy_graph(
         sources = CodeGenerator(quantized, memory_plan).generate()
 
     return GraphDeploymentReport(
-        graph=graph,
+        graph=compiled,
         quantized=quantized,
         memory_plan=memory_plan,
         tiling_plan=tiling_plan,

@@ -191,6 +191,7 @@ def build_int8_backend(
     seed: int = 0,
     use_lut: bool = True,
     use_gemm: bool = True,
+    optimize: bool = False,
     **lower_kwargs,
 ) -> Int8Backend:
     """Trace, calibrate and lower ``model``, then wrap the integer engine.
@@ -209,6 +210,14 @@ def build_int8_backend(
     bit-identical logits — the flags exist so each path can cross-check the
     other.  The lowered graph always carries the GEMM tile metadata, so the
     flag only routes execution.
+
+    ``optimize`` runs the deploy compiler's optimization passes (requant
+    folding, conv→pool fusion, dead-node elimination — see
+    :mod:`repro.deploy.passes`) on the lowered graph before serving: fewer
+    kernel dispatches per request, bitwise-identical logits.  Remaining
+    ``lower_kwargs`` (``weight_bits=...``, ``config=...``, ...) forward to
+    :func:`~repro.deploy.lowering.lower_to_int8` and participate in the
+    ``BackendCache`` key.
     """
     graph = trace_model(model.eval())
     if calibration is None:
@@ -216,6 +225,10 @@ def build_int8_backend(
         channels, samples, _ = _model_geometry(model)
         calibration = rng.normal(size=(calibration_batch, channels, samples))
     quantized = lower_to_int8(
-        graph, np.asarray(calibration, dtype=np.float64), use_lut=use_lut, **lower_kwargs
+        graph,
+        np.asarray(calibration, dtype=np.float64),
+        use_lut=use_lut,
+        optimize=optimize,
+        **lower_kwargs,
     )
     return Int8Backend(quantized, use_lut=use_lut, use_gemm=use_gemm)

@@ -340,14 +340,19 @@ class InferenceServer:
             model_kwargs["patch_size"] = patch_size
         lower_kwargs = dict(lower_kwargs or {})
         # Lowering options change the served numerics' implementation (LUT
-        # vs elementwise op set, bit widths), so they are part of the cache
-        # identity — unlike calibration data, which is not hashable.  The
-        # key is normalised against the lowering defaults for the op-set
-        # flags, so an explicit use_lut=True / use_gemm=True and the
-        # defaults share one entry.
+        # vs elementwise op set, bit widths, fused vs unfused schedule), so
+        # they are part of the cache identity — unlike calibration data,
+        # which is not hashable.  The key is normalised against the lowering
+        # defaults for the op-set flags, so an explicit use_lut=True /
+        # use_gemm=True / optimize=False and the defaults share one entry.
         lowering_variant: Tuple = ()
         if backend == "int8":
-            effective = {"use_lut": True, "use_gemm": True, **lower_kwargs}
+            effective = {
+                "use_lut": True,
+                "use_gemm": True,
+                "optimize": False,
+                **lower_kwargs,
+            }
             lowering_variant = tuple(sorted(effective.items()))
 
         if isinstance(model, str):
