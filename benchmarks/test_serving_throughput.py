@@ -654,6 +654,91 @@ def test_idle_fault_layer_costs_nothing(model, windows, cache):
     )
 
 
+def test_session_lifecycle_churn_not_regressive(model, windows, cache):
+    """Fleet session management must be free at the serving hot path.
+
+    Two gates for the session-lifecycle PR:
+
+    * **churn** — opening and closing 1000 managed sessions (each close
+      capturing a final checkpoint into the tombstone ring) must sustain a
+      rate that makes per-connection bookkeeping invisible next to a single
+      model forward;
+    * **streaming** — pushing the same raw signal through a managed session
+      (quota accounting + degraded-electrode scan + activity tracking on
+      every chunk) must reach >= 0.7x the bare ``open_stream`` rate
+      (generous for noisy 1-vCPU CI boxes; the expected cost is a few
+      percent of per-chunk bookkeeping).
+
+    Both paths produce identical decisions (pinned in
+    ``tests/test_serve_sessions.py``), so the comparison is purely about
+    overhead.
+    """
+    slide, smoothing = 20, 3
+    window = GEOMETRY["window_samples"]
+    num_windows = 200
+    signal = np.random.default_rng(7).standard_normal(
+        (GEOMETRY["num_channels"], window + slide * (num_windows - 1))
+    )
+    with InferenceServer(
+        model, "float", cache=cache, max_batch_size=16, max_wait_s=0.0005
+    ) as server:
+        server.infer(windows[:8])  # warm-up (allocator, caches)
+        with server.open_session_manager(slide=slide, smoothing=smoothing) as manager:
+            churn = 1000
+            start = time.perf_counter()
+            for _ in range(churn):
+                session = manager.create_session("bench")
+                manager.close_session(session.session_id)
+            churn_elapsed = time.perf_counter() - start
+            churn_rate = churn / churn_elapsed
+
+            best = {"bare": 0.0, "managed": 0.0}
+            for _ in range(3):  # interleaved best-of: drift hits both equally
+                start = time.perf_counter()
+                bare = server.open_stream(slide=slide, smoothing=smoothing)
+                bare.run(signal, chunk_size=64)
+                elapsed = time.perf_counter() - start
+                assert bare.windows_classified == num_windows
+                best["bare"] = max(best["bare"], num_windows / elapsed)
+
+                start = time.perf_counter()
+                managed = manager.create_session("bench")
+                managed.run(signal, chunk_size=64)
+                elapsed = time.perf_counter() - start
+                assert managed.windows_classified == num_windows
+                assert managed.decisions == bare.decisions
+                manager.close_session(managed.session_id)
+                best["managed"] = max(best["managed"], num_windows / elapsed)
+            stats = manager.stats
+        assert stats.sessions_created == churn + 3
+    ratio = best["managed"] / best["bare"]
+    report(
+        "Session lifecycle — managed vs bare streaming (float, cap 16)",
+        f"open/close churn:   {churn_rate:>11.1f} sessions/s ({churn} sessions)\n"
+        f"{'path':>10} {'windows/s':>11}\n"
+        f"{'bare':>10} {best['bare']:>11.1f}\n"
+        f"{'managed':>10} {best['managed']:>11.1f}\n"
+        f"ratio: {ratio:.2f}x",
+    )
+    record_bench(
+        "session_lifecycle",
+        churn_sessions_per_s=churn_rate,
+        bare_windows_per_s=best["bare"],
+        managed_windows_per_s=best["managed"],
+        ratio=ratio,
+    )
+    # A session open/close round trip is pure Python bookkeeping plus one
+    # empty-buffer checkpoint; it must outpace any plausible request rate.
+    assert churn_rate > 200.0, (
+        f"managed-session churn reached only {churn_rate:.0f} open/close per "
+        f"second across {churn} sessions"
+    )
+    assert ratio >= 0.7, (
+        f"managed-session streaming cost {1 - ratio:.0%} of bare open_stream "
+        f"throughput ({best['managed']:.0f} vs {best['bare']:.0f} windows/s)"
+    )
+
+
 def test_compile_wall_time_per_config(windows):
     """Record the deploy compiler's lowering wall-time per registry config.
 

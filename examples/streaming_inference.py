@@ -22,7 +22,11 @@ host through :mod:`repro.serve`:
 5. demonstrate the fault-tolerance layer: an int8 server with retries, a
    circuit breaker and float-backend fallback serves through an injected
    fault storm — every answer still lands (some flagged ``degraded``),
-   and ``server.health()`` reports what happened.
+   and ``server.health()`` reports what happened;
+6. run a small fleet through a :class:`~repro.serve.SessionManager`:
+   tenant quotas, a mid-recording crash recovered bitwise from a
+   JSON-serialised :class:`~repro.serve.SessionCheckpoint`, a dead
+   electrode masked instead of refused, and a graceful ``drain()``.
 
 The float server runs on a two-thread :class:`~repro.serve.WorkerPool`
 (``num_workers=2``), overlapping micro-batch formation with backend
@@ -45,7 +49,9 @@ from repro.serve import (
     InjectError,
     NaNOutput,
     Priority,
+    QuotaExceeded,
     RetryPolicy,
+    SessionCheckpoint,
 )
 
 
@@ -215,6 +221,73 @@ def main() -> None:
         )
         breaker_states = {name: snap.state for name, snap in health.breakers.items()}
         print(f"  health: status={health.status}  breakers={breaker_states}")
+
+    # 6. Fleet session lifecycle: a SessionManager multiplexes many tenants'
+    # streams over one server — per-tenant quotas, crash-safe bitwise
+    # checkpoint/restore, degraded-electrode masking, graceful drain.
+    print("\n-- fleet sessions (SessionManager over one server) ------------")
+    with InferenceServer(
+        "bio1",
+        "float",
+        patch_size=10,
+        model_kwargs=geometry,
+        cache=cache,
+        max_batch_size=16,
+    ) as server:
+        reference = server.open_stream(slide=config.slide_samples, smoothing=5)
+        reference.run(signal, chunk_size=64)
+
+        manager = server.open_session_manager(
+            slide=config.slide_samples, smoothing=5
+        )
+        manager.configure_tenant("clinic", priority=Priority.HIGH)
+        manager.configure_tenant("bulk", priority=Priority.LOW, max_sessions=2)
+
+        # A clinic stream interrupted mid-recording: close it (capturing a
+        # checkpoint), ship the checkpoint through JSON, restore it into a
+        # fresh session, finish the recording — the concatenated decisions
+        # must be bitwise what the uninterrupted stream produced.
+        cut = 64 * (signal.shape[-1] // 128)
+        live = manager.create_session("clinic")
+        live.run(signal[:, :cut], chunk_size=64)
+        checkpoint = manager.close_session(live.session_id)
+        resumed = manager.restore(SessionCheckpoint.from_json(checkpoint.to_json()))
+        resumed.run(signal[:, cut:], chunk_size=64)
+        exact = live.decisions + resumed.decisions == reference.decisions
+        print(
+            f"  crash at sample {cut}, restored from a JSON checkpoint: "
+            f"{'bitwise-identical decisions' if exact else 'MISMATCH'} "
+            f"({len(reference.decisions)} windows)"
+        )
+
+        # A dead electrode: one acquisition chunk arrives with channel 0
+        # saturated to NaN.  The manager masks the channel to 0.0 (the
+        # channel-dropout convention the classifier trained under) and flags
+        # the affected decisions instead of refusing the chunk.
+        poisoned = np.array(signal[:, : 4 * config.window_samples])
+        poisoned[0] = np.nan
+        flagged = [d for d in resumed.push(poisoned) if d.degraded]
+        print(f"  dead-electrode chunk: {len(flagged)} decisions flagged degraded")
+
+        # Tenant quotas are typed, not stringly: the bulk tenant is capped
+        # at two concurrent sessions.
+        for _ in range(2):
+            manager.create_session("bulk")
+        try:
+            manager.create_session("bulk")
+        except QuotaExceeded as exc:
+            print(
+                f"  bulk tenant refused a 3rd session: "
+                f"QuotaExceeded(tenant={exc.tenant!r}, quota={exc.quota!r})"
+            )
+
+        snapshot = server.health().sessions
+        checkpoints = manager.drain()  # settles in-flight work, checkpoints all
+        print(
+            f"  fleet: {snapshot.sessions_open} open sessions across "
+            f"{len(snapshot.tenants)} tenants before drain; drained with "
+            f"{len(checkpoints)} final checkpoints"
+        )
 
 
 if __name__ == "__main__":

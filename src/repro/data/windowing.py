@@ -140,6 +140,61 @@ class StreamWindower:
             self._base += drop
         return windows
 
+    def state(self) -> dict:
+        """Snapshot of the incremental-windowing state for checkpointing.
+
+        Returns a dict of plain values plus a *copy* of the remainder
+        buffer (the samples pushed but not yet consumed by an emitted
+        window).  Feeding the snapshot to :meth:`load_state` on a windower
+        of identical geometry reproduces the original's future emissions
+        bit-for-bit — the crash-safe-session contract of
+        :mod:`repro.serve.sessions` rests on this.
+        """
+        return {
+            "window": self.window,
+            "slide": self.slide,
+            "num_channels": self.num_channels,
+            "dtype": self.dtype.str,
+            "buffer": self._buffer.copy(),
+            "base": self._base,
+            "samples_seen": self.samples_seen,
+            "windows_emitted": self.windows_emitted,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state` snapshot taken from an identical windower.
+
+        Geometry (window, slide, channel count, dtype) must match exactly —
+        a snapshot replayed into a differently shaped windower would emit
+        windows the original never would have, so it is rejected with
+        ``ValueError`` instead.
+        """
+        for key in ("window", "slide", "num_channels"):
+            if int(state[key]) != getattr(self, key):
+                raise ValueError(
+                    f"windower state has {key}={state[key]}, "
+                    f"this windower has {key}={getattr(self, key)}"
+                )
+        if np.dtype(state["dtype"]) != self.dtype:
+            raise ValueError(
+                f"windower state has dtype {state['dtype']}, "
+                f"this windower has dtype {self.dtype.str}"
+            )
+        buffer = np.ascontiguousarray(np.asarray(state["buffer"], dtype=self.dtype))
+        if buffer.ndim == 1 and buffer.size == 0:
+            # A (C, 0) buffer round-tripped through nested lists loses its
+            # channel dimension; normalise it back.
+            buffer = buffer.reshape(self.num_channels, 0)
+        if buffer.ndim != 2 or buffer.shape[0] != self.num_channels:
+            raise ValueError(
+                f"windower state buffer has shape {buffer.shape}, expected "
+                f"({self.num_channels}, n)"
+            )
+        self._buffer = buffer
+        self._base = int(state["base"])
+        self.samples_seen = int(state["samples_seen"])
+        self.windows_emitted = int(state["windows_emitted"])
+
     def reset(self) -> None:
         """Forget all buffered samples (e.g. between recordings)."""
         self._buffer = np.empty((self.num_channels, 0), dtype=self.dtype)

@@ -19,10 +19,14 @@ scaling PR (sharding, remote backends) plugs into:
   malformed request can never poison its batch-mates);
 * :mod:`repro.serve.stream` — :class:`StreamSession`, raw-signal streaming
   with overlapping windows and majority-vote label smoothing;
+* :mod:`repro.serve.sessions` — :class:`SessionManager`, the fleet layer
+  owning every live session: lifecycle by session id, idle-TTL reaping,
+  per-tenant quotas and eviction, versioned bitwise
+  :class:`SessionCheckpoint` snapshots, and degraded-electrode masking;
 * :mod:`repro.serve.server` — the :class:`InferenceServer` facade
   (sync ``infer``/``predict``, async ``submit``/``infer_async``/
-  ``as_completed``, high-priority ``open_stream``) and the process-wide
-  backend cache.
+  ``as_completed``, high-priority ``open_stream``,
+  ``open_session_manager``) and the process-wide backend cache.
 """
 
 from .backends import (
@@ -48,9 +52,11 @@ from .faults import (
     LatencySpike,
     NaNOutput,
     Overloaded,
+    QuotaExceeded,
     RetryExhausted,
     RetryPolicy,
     ServingError,
+    SessionEvicted,
     WorkerCrash,
 )
 from .pool import DeadlineExceeded, PoolStats, Priority, WorkerPool
@@ -60,6 +66,15 @@ from .server import (
     InferenceServer,
     ServerStats,
     get_default_cache,
+)
+from .sessions import (
+    SESSION_CHECKPOINT_VERSION,
+    ManagedSession,
+    SessionCheckpoint,
+    SessionManager,
+    SessionManagerStats,
+    TenantStats,
+    restore_stream_session,
 )
 from .stream import MajorityVoter, StreamDecision, StreamSession
 
@@ -83,6 +98,13 @@ __all__ = [
     "MajorityVoter",
     "StreamDecision",
     "StreamSession",
+    "SESSION_CHECKPOINT_VERSION",
+    "ManagedSession",
+    "SessionCheckpoint",
+    "SessionManager",
+    "SessionManagerStats",
+    "TenantStats",
+    "restore_stream_session",
     "BackendError",
     "BackendTimeout",
     "BreakerSnapshot",
@@ -97,8 +119,10 @@ __all__ = [
     "LatencySpike",
     "NaNOutput",
     "Overloaded",
+    "QuotaExceeded",
     "RetryExhausted",
     "RetryPolicy",
     "ServingError",
+    "SessionEvicted",
     "WorkerCrash",
 ]

@@ -53,9 +53,11 @@ __all__ = [
     "LatencySpike",
     "NaNOutput",
     "Overloaded",
+    "QuotaExceeded",
     "RetryExhausted",
     "RetryPolicy",
     "ServingError",
+    "SessionEvicted",
     "WorkerCrash",
 ]
 
@@ -124,6 +126,41 @@ class RetryExhausted(ServingError):
 
 class CircuitOpen(ServingError):
     """The backend's circuit breaker is open — the call was not attempted."""
+
+
+class QuotaExceeded(ServingError):
+    """A tenant's quota refused the operation (session count or samples/s).
+
+    ``tenant`` names the tenant whose budget was exhausted and ``quota``
+    the budget itself (``"sessions"`` or ``"samples_per_s"``), so a
+    multi-tenant client can tell "open fewer sessions" apart from "slow
+    down" without string-matching the message.
+    """
+
+    def __init__(
+        self, message: str, *, tenant: Optional[str] = None, quota: str = ""
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.quota = quota
+
+
+class SessionEvicted(ServingError):
+    """The managed session no longer exists — it was reaped or evicted.
+
+    Raised by every operation on a session the manager has taken away
+    (idle-TTL reaping, memory-pressure eviction, drain).  ``reason`` is
+    ``"idle"``, ``"pressure"`` or ``"drain"``; the manager keeps the
+    session's final :class:`~repro.serve.sessions.SessionCheckpoint`, so
+    an evicted session's state is recoverable, never lost.
+    """
+
+    def __init__(
+        self, message: str, *, session_id: Optional[str] = None, reason: str = ""
+    ) -> None:
+        super().__init__(message)
+        self.session_id = session_id
+        self.reason = reason
 
 
 # --------------------------------------------------------------------- #
@@ -553,6 +590,9 @@ class HealthSnapshot:
     worker_timeouts: int = 0
     workers_alive: int = 0
     workers_total: int = 0
+    #: Frozen :class:`~repro.serve.sessions.SessionManagerStats` when a
+    #: session manager is attached to the server, else ``None``.
+    sessions: Optional[object] = None
 
 
 class HealthMonitor:
@@ -594,4 +634,5 @@ class HealthMonitor:
             worker_timeouts=int(values.get("worker_timeouts", 0)),
             workers_alive=int(values.get("workers_alive", 0)),
             workers_total=int(values.get("workers_total", 0)),
+            sessions=values.get("sessions"),
         )

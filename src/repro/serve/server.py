@@ -409,6 +409,7 @@ class InferenceServer:
         self._counter_lock = threading.Lock()
         self._retries = 0
         self._degraded = 0
+        self._session_manager = None
         self._owns_pool = pool is None and num_workers > 1
         self.pool = pool if pool is not None else (
             WorkerPool(
@@ -704,6 +705,30 @@ class InferenceServer:
             smoothing=smoothing,
         )
 
+    def open_session_manager(self, **kwargs) -> "SessionManager":
+        """A :class:`~repro.serve.sessions.SessionManager` over this server.
+
+        The fleet layer above :meth:`open_stream`: managed sessions get
+        ids, idle-TTL reaping, per-tenant quotas/eviction and bitwise
+        checkpoint/restore (see :mod:`repro.serve.sessions`).  The
+        manager's stats surface through :meth:`health` as
+        ``snapshot.sessions``, and :meth:`close` drains it (settling
+        in-flight chunks and tombstoning final checkpoints) before the
+        batcher stops.  At most one live manager per server.
+        """
+        from .sessions import SessionManager
+
+        return SessionManager(self, **kwargs)
+
+    def _attach_session_manager(self, manager) -> None:
+        """Register ``manager`` as this server's session owner."""
+        if self._session_manager is not None and not self._session_manager.closed:
+            raise RuntimeError(
+                "this server already has a live session manager; close it first"
+            )
+        self._session_manager = manager
+        self._health.register("sessions", lambda: manager.stats)
+
     # ------------------------------------------------------------------ #
     # Lifecycle / introspection
     # ------------------------------------------------------------------ #
@@ -737,7 +762,14 @@ class InferenceServer:
         return self._health.snapshot()
 
     def close(self) -> None:
-        """Drain pending requests and stop the batching worker (and pool)."""
+        """Drain pending requests and stop the batching worker (and pool).
+
+        An attached session manager is drained *first* — its in-flight
+        chunks still need the batcher — so every managed session settles
+        and leaves a final checkpoint before serving stops.
+        """
+        if self._session_manager is not None:
+            self._session_manager.close()
         self.batcher.close()
         if self._owns_pool and self.pool is not None:
             self.pool.close()

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Optional, Sequence
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,13 +33,26 @@ class MajorityVoter:
     Ties are broken toward the smallest label index, which makes the vote
     deterministic and biases ties toward the paper's rest class (class 0).
     A ``history`` of 1 disables smoothing.
+
+    ``history`` is frozen at construction: the deque that holds the vote
+    window is sized once, so rebinding the attribute afterwards could only
+    desynchronise the two — it raises ``AttributeError`` instead.  State
+    is exported/imported through :meth:`state`/:meth:`load_state` (what
+    the session checkpoints use) rather than by poking ``_recent``.
     """
+
+    __slots__ = ("_history", "_recent")
 
     def __init__(self, history: int = 5) -> None:
         if history < 1:
             raise ValueError("history must be >= 1")
-        self.history = int(history)
-        self._recent: Deque[int] = deque(maxlen=self.history)
+        self._history = int(history)
+        self._recent: Deque[int] = deque(maxlen=self._history)
+
+    @property
+    def history(self) -> int:
+        """The (frozen) vote-window length."""
+        return self._history
 
     def vote(self, label: int) -> int:
         """Record ``label`` and return the smoothed decision."""
@@ -53,18 +66,49 @@ class MajorityVoter:
         self._recent.clear()
 
     @property
-    def recent(self) -> List[int]:
-        """The raw labels currently inside the voting window."""
-        return list(self._recent)
+    def recent(self) -> Tuple[int, ...]:
+        """The raw labels currently inside the voting window (immutable)."""
+        return tuple(self._recent)
+
+    def state(self) -> dict:
+        """Serializable snapshot of the voter: history length + window."""
+        return {"history": self._history, "recent": list(self._recent)}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state` snapshot taken from an equal-history voter.
+
+        A snapshot from a different ``history`` cannot be replayed into
+        this voter without changing its smoothing semantics, so it is
+        rejected with ``ValueError`` instead of silently truncating.
+        """
+        if int(state["history"]) != self._history:
+            raise ValueError(
+                f"voter state has history {state['history']}, "
+                f"this voter has history {self._history}"
+            )
+        recent = [int(label) for label in state["recent"]]
+        if len(recent) > self._history:
+            raise ValueError(
+                f"voter state holds {len(recent)} labels for a history "
+                f"of {state['history']}"
+            )
+        self._recent = deque(recent, maxlen=self._history)
 
 
 @dataclass(frozen=True)
 class StreamDecision:
-    """One classified window of the stream."""
+    """One classified window of the stream.
+
+    ``degraded`` mirrors :class:`~repro.serve.faults.DegradedLogits`: the
+    decision was produced from a window whose signal was degraded (dead or
+    non-finite electrodes masked out by the session manager) — numerically
+    valid, but the caller should weigh it accordingly.
+    """
 
     window_index: int
     label: int
     smoothed_label: int
+    degraded: bool = False
 
 
 class StreamSession:
@@ -102,6 +146,10 @@ class StreamSession:
         self.preprocessor = preprocessor
         self.voter = MajorityVoter(smoothing)
         self.decisions: List[StreamDecision] = []
+        # Window index of decisions[0]: 0 for a fresh session, the
+        # checkpointed windows_classified count for a restored one (the
+        # restored session's indices continue the original stream's).
+        self._decisions_base = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -113,8 +161,13 @@ class StreamSession:
 
     @property
     def windows_classified(self) -> int:
-        """Number of windows classified (and decisions recorded) so far."""
-        return len(self.decisions)
+        """Number of windows classified over the whole stream so far.
+
+        Includes windows classified before a checkpoint/restore cut: a
+        restored session continues the original stream's count even though
+        its ``decisions`` list only holds post-restore decisions.
+        """
+        return self._decisions_base + len(self.decisions)
 
     @property
     def current_label(self) -> Optional[int]:
@@ -135,6 +188,13 @@ class StreamSession:
         a mis-wired stream into the windower would silently interleave
         channels into garbage windows.  (1-D chunks are accepted for
         single-channel sessions, as with :class:`StreamWindower`.)
+
+        Non-finite chunks are rejected the same way the server's admission
+        validation rejects non-finite windows: a single NaN sample would
+        otherwise be windowed into up to ``window // slide`` consecutive
+        windows and poison that many majority votes.  Sessions that must
+        survive degraded signal route chunks through the session manager's
+        dead-electrode masking (:mod:`repro.serve.sessions`) instead.
         """
         chunk = np.asarray(samples)
         expected = self.windower.num_channels
@@ -144,6 +204,16 @@ class StreamSession:
                 f"stream chunk has {channels} channel(s) "
                 f"(shape {chunk.shape}), but this session expects "
                 f"{expected} channel(s)"
+            )
+        if chunk.dtype == object or not np.can_cast(chunk.dtype, np.float64):
+            raise ValueError(
+                f"stream chunk dtype {chunk.dtype} cannot be safely cast "
+                f"to float64"
+            )
+        if not np.all(np.isfinite(np.asarray(chunk, dtype=np.float64))):
+            raise ValueError(
+                "stream chunk contains non-finite (NaN/Inf) samples; "
+                "refusing to window/classify it"
             )
         windows = self.windower.push(chunk)
         if windows.shape[0] == 0:
@@ -156,7 +226,7 @@ class StreamSession:
                 f"classifier returned {labels.shape[0]} labels for "
                 f"{windows.shape[0]} windows"
             )
-        start = len(self.decisions)
+        start = self._decisions_base + len(self.decisions)
         produced: List[StreamDecision] = []
         for offset, label in enumerate(labels):
             smoothed = self.voter.vote(int(label))
@@ -195,3 +265,4 @@ class StreamSession:
         self.windower.reset()
         self.voter.reset()
         self.decisions.clear()
+        self._decisions_base = 0

@@ -34,9 +34,11 @@ from repro.serve import (
     NaNOutput,
     Overloaded,
     Priority,
+    QuotaExceeded,
     RetryExhausted,
     RetryPolicy,
     ServingError,
+    SessionEvicted,
     WorkerCrash,
     build_float_backend,
 )
@@ -710,3 +712,119 @@ class TestChaos:
             assert stats.retries >= 1  # the storm exercised the retry path
         finally:
             server.close()
+
+
+# --------------------------------------------------------------------- #
+# Chaos: the managed-session fleet under a fault storm
+# --------------------------------------------------------------------- #
+class TestSessionChaos:
+    def test_fleet_survives_fault_storm_without_losing_state(self, rng, cache):
+        """~50 managed sessions across 3 tenants streaming through an int8
+        server under a seeded storm of latency spikes, transient errors,
+        NaN logits and worker crashes, with one tenant under samples/sec
+        quota pressure and periodic NaN-poisoned electrodes.
+
+        Contract: every push resolves (decisions or a typed error — never
+        a hang), no session loses state (every reaped session leaves a
+        checkpoint consistent with its counters), reaped sessions raise
+        :class:`SessionEvicted` immediately, and per-tenant stats conserve
+        the decision counts exactly.
+        """
+        calibration = rng.standard_normal((32, 4, 60))
+        server = make_server(
+            "int8",
+            cache=cache,
+            calibration=calibration,
+            num_workers=2,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.001),
+            fallback=True,
+            backend_wrapper=lambda b: FaultInjectingBackend.from_rates(
+                b,
+                seed=29,
+                calls=8192,
+                latency_rate=0.05,
+                latency_s=0.001,
+                error_rate=0.08,
+                nan_rate=0.05,
+                crash_rate=0.01,
+            ),
+        )
+        clock = FakeClock()
+        tenants = ["clinic", "lab", "batch"]
+        try:
+            manager = server.open_session_manager(
+                slide=20, smoothing=3, idle_ttl_s=30.0, clock=clock
+            )
+            manager.configure_tenant("clinic", priority=Priority.HIGH)
+            manager.configure_tenant("lab", priority=Priority.NORMAL)
+            manager.configure_tenant(
+                "batch", priority=Priority.LOW, samples_per_s=500.0, burst_s=1.0
+            )
+            sessions = [
+                manager.create_session(tenants[i % 3]) for i in range(51)
+            ]
+            signals = [rng.standard_normal((4, 200)) for _ in sessions]
+            decisions_ok = 0
+            degraded_seen = 0
+            quota_rejections = 0
+            typed_failures = 0
+            rounds = 5
+            for round_index in range(rounds):
+                lo = round_index * 40
+                for i, session in enumerate(sessions):
+                    chunk = signals[i][:, lo : lo + 40].copy()
+                    if (round_index + i) % 7 == 0:
+                        chunk[i % 4, 3] = np.nan  # poisoned electrode
+                    try:
+                        produced = session.push(chunk)
+                    except QuotaExceeded:
+                        quota_rejections += 1
+                    except ServingError:
+                        typed_failures += 1  # e.g. a WorkerCrash surfacing
+                    else:
+                        decisions_ok += len(produced)
+                        degraded_seen += sum(d.degraded for d in produced)
+                clock.advance(1.0)  # refill the batch tenant's bucket
+            # The storm actually bit on every axis.
+            assert quota_rejections > 0
+            assert degraded_seen > 0
+            # Conservation: per-session counters == recorded decisions,
+            # per-tenant stats == sum of their sessions, fleet == total.
+            stats = manager.stats
+            assert decisions_ok == sum(s.windows for s in sessions)
+            for name in tenants:
+                mine = [s for s in sessions if s.tenant == name]
+                assert stats.tenants[name].windows == sum(s.windows for s in mine)
+                assert stats.tenants[name].degraded_windows == sum(
+                    s.degraded_windows for s in mine
+                )
+            assert sum(t.windows for t in stats.tenants.values()) == decisions_ok
+            assert stats.tenants["batch"].quota_rejections == quota_rejections
+            # Reap the whole fleet deterministically; nothing may hang.
+            clock.advance(31.0)
+            assert manager.reap_idle() == len(sessions)
+            started = time.monotonic()
+            for session in sessions:
+                with pytest.raises(SessionEvicted) as excinfo:
+                    session.push(signals[0][:, :10])
+                assert excinfo.value.reason == "idle"
+                # No session lost state: the final checkpoint agrees with
+                # the session's own successful-decision counters.
+                final = manager.checkpoint(session.session_id)
+                assert final.windows_classified == session.windows
+                assert final.samples_seen >= session.samples
+            assert time.monotonic() - started < 10.0  # typed errors, not hangs
+            assert manager.stats.reaped_idle == len(sessions)
+            assert manager.stats.sessions_open == 0
+            # One survivor restored from a checkpoint keeps streaming.
+            revived = manager.restore(manager.checkpoint(sessions[0].session_id))
+            assert revived.windows_classified == sessions[0].windows
+            revived.push(signals[0][:, :40])
+            # Supervision brought the pool back to strength for the tail.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and server.pool.alive_workers < 2:
+                time.sleep(0.01)
+            assert server.pool.alive_workers == 2
+        finally:
+            server.close()
+        assert manager.closed

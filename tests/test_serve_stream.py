@@ -90,6 +90,58 @@ class TestMajorityVoter:
         with pytest.raises(ValueError):
             MajorityVoter(history=0)
 
+    def test_history_is_frozen_after_construction(self):
+        voter = MajorityVoter(history=3)
+        assert voter.history == 3
+        with pytest.raises(AttributeError):
+            voter.history = 7
+        # __slots__: arbitrary attributes (e.g. a typoed knob) don't stick.
+        with pytest.raises(AttributeError):
+            voter.histroy = 7
+
+    def test_recent_returns_immutable_tuple(self):
+        voter = MajorityVoter(history=3)
+        for label in (4, 1, 1):
+            voter.vote(label)
+        window = voter.recent
+        assert window == (4, 1, 1)
+        assert isinstance(window, tuple)
+        # The returned view never aliases the live deque.
+        voter.vote(9)
+        assert window == (4, 1, 1)
+        assert voter.recent == (1, 1, 9)
+
+    def test_state_round_trip_preserves_future_votes(self):
+        voter = MajorityVoter(history=3)
+        for label in (2, 2, 5):
+            voter.vote(label)
+        clone = MajorityVoter(history=3)
+        clone.load_state(voter.state())
+        tail = [7, 7, 5, 5]
+        assert [clone.vote(l) for l in tail] == [voter.vote(l) for l in tail]
+
+    def test_state_is_json_friendly(self):
+        import json
+
+        voter = MajorityVoter(history=4)
+        voter.vote(3)
+        state = json.loads(json.dumps(voter.state()))
+        clone = MajorityVoter(history=4)
+        clone.load_state(state)
+        assert clone.recent == (3,)
+
+    def test_load_state_rejects_history_mismatch(self):
+        voter = MajorityVoter(history=3)
+        voter.vote(1)
+        other = MajorityVoter(history=5)
+        with pytest.raises(ValueError, match="history"):
+            other.load_state(voter.state())
+
+    def test_load_state_rejects_overlong_window(self):
+        voter = MajorityVoter(history=2)
+        with pytest.raises(ValueError, match="2 labels|history"):
+            voter.load_state({"history": 2, "recent": [1, 2, 3]})
+
 
 # --------------------------------------------------------------------- #
 # StreamSession end-to-end
@@ -234,3 +286,31 @@ class TestStreamSession:
         decisions = session.push(np.zeros(25))
         assert len(decisions) == 1
         assert session.samples_seen == 25
+
+    @pytest.mark.parametrize("poison", [np.nan, np.inf, -np.inf])
+    def test_push_rejects_non_finite_chunks(self, poison):
+        """A raw-session user gets the same typed admission error the
+        server uses — one NaN sample would otherwise be windowed into up
+        to window//slide consecutive windows and poison that many votes."""
+
+        def classify(windows):
+            return np.zeros(windows.shape[0], dtype=np.int64)
+
+        session = StreamSession(classify, window=20, slide=10, num_channels=2)
+        chunk = np.ones((2, 30))
+        chunk[1, 7] = poison
+        with pytest.raises(ValueError, match="non-finite"):
+            session.push(chunk)
+        # The rejected chunk never reached the windower's buffer.
+        assert session.samples_seen == 0
+        session.push(np.ones((2, 30)))
+        assert session.samples_seen == 30
+
+    def test_push_rejects_unsafe_dtype(self):
+        def classify(windows):
+            return np.zeros(windows.shape[0], dtype=np.int64)
+
+        session = StreamSession(classify, window=10, slide=5, num_channels=1)
+        with pytest.raises(ValueError, match="dtype"):
+            session.push(np.array(["a", "b", "c"]))
+        assert session.samples_seen == 0
