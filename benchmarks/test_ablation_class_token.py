@@ -20,6 +20,7 @@ from repro.training import train_subject_specific
 from repro.utils.tables import format_table
 
 
+@pytest.mark.slow
 @pytest.mark.benchmark(group="ablation")
 def test_class_token_vs_mean_pooling(benchmark, small_context):
     """Train Bio1 with the class-token head and with mean pooling."""

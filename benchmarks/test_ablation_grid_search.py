@@ -8,6 +8,8 @@ verifies they land on (or next to) the grid's Pareto frontier.
 
 import pytest
 
+pytestmark = pytest.mark.slow  # long-horizon training; excluded from tier-1
+
 from conftest import report
 from repro.experiments import render_grid_search, run_grid_search
 

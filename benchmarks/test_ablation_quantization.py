@@ -25,6 +25,7 @@ from repro.training import evaluate, train_subject_specific
 from repro.utils.tables import format_table
 
 
+@pytest.mark.slow
 @pytest.mark.benchmark(group="quantization")
 def test_quantization_accuracy_drop(benchmark, small_context):
     """Float vs int8 accuracy of Bio1 (filter 10) after QAT (SMALL scale)."""

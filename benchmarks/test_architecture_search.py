@@ -11,6 +11,8 @@ as the paper's Fig. 5.
 
 import pytest
 
+pytestmark = pytest.mark.slow  # long-horizon training; excluded from tier-1
+
 from conftest import report
 from repro.data import subject_split
 from repro.search import (

@@ -17,6 +17,7 @@ from repro.baselines import FeatureSet, default_baselines, evaluate_baselines, r
 from repro.data import subject_split
 
 
+@pytest.mark.slow
 @pytest.mark.benchmark(group="baselines")
 def test_classical_baselines_session_protocol(benchmark, small_context):
     """Classical pipelines on subject 1 of the SMALL-scale surrogate."""

@@ -8,6 +8,8 @@ shifts every curve up.
 
 import pytest
 
+pytestmark = pytest.mark.slow  # long-horizon training; excluded from tier-1
+
 from conftest import report
 from repro.experiments import render_figure2, run_figure2
 

@@ -7,6 +7,8 @@ gains on the subjects whose baseline accuracy is lowest.
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # long-horizon training; excluded from tier-1
+
 from conftest import report
 from repro.experiments import render_figure3, run_figure3
 

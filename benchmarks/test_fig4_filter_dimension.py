@@ -9,6 +9,8 @@ the 1-D convolutional front-end.
 
 import pytest
 
+pytestmark = pytest.mark.slow  # long-horizon training; excluded from tier-1
+
 from conftest import report
 from repro.experiments import render_figure4, run_figure4, scaled_filter_dimensions
 from repro.hw import profile_bioformer

@@ -44,6 +44,7 @@ def test_table1_deployment_columns(benchmark):
     assert fastest.battery_life_hours / temponet.battery_life_hours > 3.5
 
 
+@pytest.mark.slow
 @pytest.mark.benchmark(group="table1")
 def test_table1_quantized_accuracy(benchmark, small_context):
     """The accuracy column: train + QAT + int8-evaluate the two headline rows

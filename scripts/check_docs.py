@@ -74,6 +74,7 @@ def main() -> int:
         root / "docs" / "architecture.md",
         root / "docs" / "quantization.md",
         root / "docs" / "compiler.md",
+        root / "docs" / "evaluation.md",
     ]
     documents = sorted(set(required) | set((root / "docs").glob("*.md")))
     problems = [

@@ -20,7 +20,10 @@ for Ultra-Low Power sEMG-based Gesture Recognition"* (Burrello et al., DATE
 * :mod:`repro.search` — architecture search over the Bioformer design space;
 * :mod:`repro.serve` — streaming inference service (dynamic micro-batching,
   float/int8 backends, majority-vote smoothing);
-* :mod:`repro.experiments` — one driver per paper figure/table.
+* :mod:`repro.experiments` — one driver per paper figure/table;
+* :mod:`repro.eval` — streaming accuracy & robustness evaluation harness
+  (labelled synthetic recordings, corruption scenarios, stream grading,
+  accuracy-vs-deadline curves).
 
 See README.md for a quickstart and DESIGN.md for the substitution notes.
 """
@@ -30,6 +33,7 @@ from . import (
     baselines,
     data,
     deploy,
+    eval,
     experiments,
     hw,
     models,
@@ -56,6 +60,7 @@ __all__ = [
     "serve",
     "analysis",
     "experiments",
+    "eval",
     "utils",
     "__version__",
 ]

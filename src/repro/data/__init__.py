@@ -8,6 +8,7 @@ real NinaPro ``.mat`` recordings for users who have them.
 """
 
 from .augmentation import (
+    CHANNEL_FILL_VALUE,
     Augmenter,
     AugmentationConfig,
     amplitude_scale,
@@ -70,6 +71,7 @@ __all__ = [
     "moving_average",
     "mu_law_compress",
     "standardize",
+    "CHANNEL_FILL_VALUE",
     "AugmentationConfig",
     "Augmenter",
     "jitter",

@@ -19,6 +19,12 @@ recording:
 All transforms take and return ``(windows, channels, samples)`` batches and
 never modify their input in place.  :class:`Augmenter` composes a random
 subset per window, mirroring the usual training-time pipeline.
+
+Every transform draws exclusively from the ``rng`` generator passed to it
+(and :class:`Augmenter` from its own seeded generator) — never from the
+global NumPy state — so the same seed reproduces the same corrupted batch
+bit for bit.  The evaluation harness (:mod:`repro.eval`) builds its
+scenario corruptions on top of this contract.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 __all__ = [
+    "CHANNEL_FILL_VALUE",
     "jitter",
     "amplitude_scale",
     "channel_dropout",
@@ -39,6 +46,15 @@ __all__ = [
     "AugmentationConfig",
     "Augmenter",
 ]
+
+
+#: The value a lost electrode reads as, shared across every path that
+#: simulates or repairs one: :func:`channel_dropout` fills dropped channels
+#: with it, and the session layer's dead-electrode masking
+#: (:mod:`repro.serve.sessions`) masks dead channels *to* it — so a model
+#: augmented against dropout sees exactly the signal the serving tier
+#: produces when an electrode dies in production.
+CHANNEL_FILL_VALUE = 0.0
 
 
 def _as_batch(windows: np.ndarray) -> np.ndarray:
@@ -66,12 +82,13 @@ def amplitude_scale(
 def channel_dropout(
     windows: np.ndarray, rng: np.random.Generator, probability: float = 0.1
 ) -> np.ndarray:
-    """Zero out whole channels with the given per-channel probability."""
+    """Drop whole channels to :data:`CHANNEL_FILL_VALUE` with the given
+    per-channel probability (an electrode losing skin contact)."""
     if not 0.0 <= probability < 1.0:
         raise ValueError("probability must lie in [0, 1)")
     batch = _as_batch(windows)
     keep = rng.random(size=(batch.shape[0], batch.shape[1], 1)) >= probability
-    return batch * keep
+    return np.where(keep, batch, CHANNEL_FILL_VALUE)
 
 
 def channel_shift(

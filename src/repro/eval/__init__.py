@@ -1,0 +1,39 @@
+"""``repro.eval`` — streaming accuracy & robustness evaluation harness.
+
+Turns the serving tier's behaviour into measurable claims: labelled
+synthetic recordings with exact gesture boundaries
+(:mod:`~repro.eval.recordings`), reproducible corruption scenarios
+aligned with the training-time augmentation model
+(:mod:`~repro.eval.scenarios`), a stream evaluator that drives real
+``StreamSession``/``SessionManager`` streams chunk by chunk and grades
+every decision (:mod:`~repro.eval.evaluator`), the accuracy-vs-deadline
+trade-off through a live ``InferenceServer``
+(:mod:`~repro.eval.deadline`), and a deterministic trained probe model
+to power it all without real data (:mod:`~repro.eval.probe`).
+
+``benchmarks/test_eval_accuracy.py`` runs the standard sweep and gates
+the ``BENCH_accuracy.json`` trajectory; ``docs/evaluation.md`` holds the
+metric contract.
+"""
+
+from .deadline import DeadlineCurve, DeadlinePoint, accuracy_vs_deadline
+from .evaluator import EvalReport, StreamEvaluator, TransitionRecord
+from .probe import fit_probe_model
+from .recordings import GestureSegment, RecordingGenerator, SyntheticRecording
+from .scenarios import SCENARIO_KINDS, Scenario, ScenarioSuite
+
+__all__ = [
+    "GestureSegment",
+    "SyntheticRecording",
+    "RecordingGenerator",
+    "Scenario",
+    "ScenarioSuite",
+    "SCENARIO_KINDS",
+    "EvalReport",
+    "TransitionRecord",
+    "StreamEvaluator",
+    "DeadlinePoint",
+    "DeadlineCurve",
+    "accuracy_vs_deadline",
+    "fit_probe_model",
+]

@@ -1,0 +1,174 @@
+"""Accuracy versus deadline: what shedding costs in post-vote accuracy.
+
+The serving tier can bound tail latency by attaching a deadline to every
+window (:meth:`repro.serve.server.InferenceServer.submit`): a window
+still queued when its deadline expires resolves with
+:class:`~repro.serve.pool.DeadlineExceeded` instead of logits.  That
+trades latency for decisions — a shed window produces *no* new decision,
+so the prosthesis holds its previous smoothed label for one more hop.
+
+:func:`accuracy_vs_deadline` measures that trade-off end to end: the same
+recording's windows (cut offline with
+:func:`~repro.data.windowing.sliding_windows`, bit-identical to the
+streaming windower) are burst-submitted through a real
+``InferenceServer`` at each deadline setting, and the resulting decision
+track — argmax + majority vote for answered windows, hold-last-decision
+for shed ones — is graded against the recording's ground truth.  Windows
+shed before any decision exists grade as incorrect (the device would be
+emitting its rest/default posture on its own authority).
+
+The unlimited point (``deadline_s=None``) is deterministic for a fixed
+model and recording — batching changes schedule, never argmax — which is
+what ``benchmarks/test_eval_accuracy.py`` gates against the recorded
+``BENCH_accuracy.json`` baseline.  Finite-deadline points depend on host
+timing and are recorded for the trajectory, not gated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.windowing import sliding_windows
+from ..serve.pool import DeadlineExceeded, Priority
+from ..serve.stream import MajorityVoter
+from .recordings import SyntheticRecording
+
+__all__ = ["DeadlinePoint", "DeadlineCurve", "accuracy_vs_deadline"]
+
+
+@dataclass(frozen=True)
+class DeadlinePoint:
+    """One deadline setting's measured accuracy/shed/degradation triple."""
+
+    #: Deadline in seconds; None = unlimited (the deterministic baseline).
+    deadline_s: Optional[float]
+    num_windows: int
+    answered: int
+    shed: int
+    smoothed_accuracy: float
+    window_accuracy: float
+    degraded_rate: float
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of windows dropped by deadline expiry."""
+        return self.shed / self.num_windows if self.num_windows else 0.0
+
+    def to_metrics(self) -> dict:
+        """Flat scalar view for the benchmark trajectory."""
+        return {
+            "deadline_ms": (
+                -1.0 if self.deadline_s is None else round(self.deadline_s * 1e3, 3)
+            ),
+            "num_windows": float(self.num_windows),
+            "shed_rate": round(self.shed_rate, 4),
+            "smoothed_accuracy": round(self.smoothed_accuracy, 4),
+            "window_accuracy": round(self.window_accuracy, 4),
+            "degraded_rate": round(self.degraded_rate, 4),
+        }
+
+
+@dataclass(frozen=True)
+class DeadlineCurve:
+    """The accuracy-vs-deadline trade-off of one recording on one server."""
+
+    recording: str
+    smoothing: int
+    points: Tuple[DeadlinePoint, ...]
+
+    @property
+    def unlimited(self) -> DeadlinePoint:
+        """The deterministic no-deadline point (the gateable baseline)."""
+        for point in self.points:
+            if point.deadline_s is None:
+                return point
+        raise ValueError("curve holds no unlimited (deadline_s=None) point")
+
+    def to_metrics(self) -> dict:
+        """Per-point flat metrics keyed by a stable deadline tag."""
+        metrics = {}
+        for point in self.points:
+            tag = (
+                "unlimited"
+                if point.deadline_s is None
+                else f"{point.deadline_s * 1e3:g}ms"
+            )
+            metrics[tag] = point.to_metrics()
+        return metrics
+
+
+def accuracy_vs_deadline(
+    server,
+    recording: SyntheticRecording,
+    *,
+    slide: int,
+    smoothing: int = 5,
+    deadlines: Sequence[Optional[float]] = (None, 0.05, 0.0),
+    priority: int = Priority.HIGH,
+    timeout_s: float = 60.0,
+) -> DeadlineCurve:
+    """Measure ``recording``'s decision accuracy at each deadline setting.
+
+    Windows are burst-submitted (all at once, at ``priority``) so finite
+    deadlines genuinely bite: queue depth, not per-window latency, is
+    what expires them.  Requires an ``InferenceServer``-compatible
+    ``server`` (``submit`` + ``input_shape``).
+    """
+    if not deadlines:
+        raise ValueError("need at least one deadline setting")
+    channels, window = server.input_shape
+    if recording.num_channels != channels:
+        raise ValueError(
+            f"recording has {recording.num_channels} channels, server expects "
+            f"{channels}"
+        )
+    windows = sliding_windows(recording.signal, window, slide)
+    truth = recording.window_labels(window, slide)
+    points: List[DeadlinePoint] = []
+    for deadline_s in deadlines:
+        futures = [
+            server.submit(w, priority=priority, deadline_s=deadline_s)
+            for w in windows
+        ]
+        voter = MajorityVoter(smoothing)
+        decisions = np.empty(len(futures), dtype=np.int64)
+        shed = 0
+        degraded = 0
+        raw_correct = 0
+        last: Optional[int] = None
+        for index, future in enumerate(futures):
+            try:
+                logits = future.result(timeout=timeout_s)
+            except DeadlineExceeded:
+                shed += 1
+                # Hold the previous smoothed decision; -1 (never-correct)
+                # when the stream was shed before its first answer.
+                decisions[index] = -1 if last is None else last
+                continue
+            label = int(np.argmax(logits))
+            if bool(getattr(logits, "degraded", False)):
+                degraded += 1
+            if label == truth[index]:
+                raw_correct += 1
+            last = voter.vote(label)
+            decisions[index] = last
+        answered = len(futures) - shed
+        points.append(
+            DeadlinePoint(
+                deadline_s=deadline_s,
+                num_windows=len(futures),
+                answered=answered,
+                shed=shed,
+                smoothed_accuracy=(
+                    float(np.mean(decisions == truth)) if len(truth) else 0.0
+                ),
+                window_accuracy=raw_correct / answered if answered else 0.0,
+                degraded_rate=degraded / answered if answered else 0.0,
+            )
+        )
+    return DeadlineCurve(
+        recording=recording.name, smoothing=smoothing, points=tuple(points)
+    )

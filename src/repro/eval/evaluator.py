@@ -1,0 +1,340 @@
+"""Streaming accuracy evaluation over labelled recordings.
+
+:class:`StreamEvaluator` drives a *real* serving-tier stream — a
+:class:`~repro.serve.stream.StreamSession`, a
+:class:`~repro.serve.sessions.SessionManager`-owned session, or a stream
+opened on an :class:`~repro.serve.server.InferenceServer` — chunk by
+chunk over a :class:`~repro.eval.recordings.SyntheticRecording`, grades
+every decision against the recording's ground truth, and emits one
+:class:`EvalReport` per (recording, scenario) pair.
+
+Metric definitions (pinned here; ``docs/evaluation.md`` mirrors them):
+
+window accuracy
+    Fraction of *raw* (pre-vote) per-window labels matching the window's
+    ground truth (last-sample convention of
+    :meth:`~repro.eval.recordings.SyntheticRecording.window_labels`).
+post-vote accuracy
+    The same fraction for the *smoothed* labels.  The per-depth sweep
+    (:attr:`EvalReport.accuracy_by_depth`) replays the recorded raw
+    labels through a fresh
+    :class:`~repro.serve.stream.MajorityVoter` of each depth — depth 1
+    is argmax passthrough by the voter's pinned semantics, and the
+    session's own smoothed labels must equal the replay at its own
+    depth (asserted on every evaluation, so the sweep can never drift
+    from what the serving tier actually does).
+transition lag (windows)
+    For each gesture transition, the number of windows from the first
+    window *whose decision the new gesture owns* (first window with its
+    last sample inside the new segment) until the first window whose
+    smoothed label equals the new gesture's.  0 = the vote tracked the
+    transition instantly; a transition whose segment ends before the
+    smoothed label ever matches counts as *unresolved* and is excluded
+    from the lag mean/max but reported in
+    :attr:`EvalReport.unresolved_transitions`.
+decision latency (ms)
+    For the same event, the wall time from the gesture's physical onset
+    (its first sample) to the end of the window that first carried the
+    correct smoothed decision: ``(j * slide + window - onset) / fs * 1e3``.
+    This includes the windowing delay itself, so even a 0-lag transition
+    has latency ≈ one window.
+degraded-decision rate
+    Fraction of decisions flagged ``degraded`` by the session layer
+    (dead/non-finite electrode masking); structurally 0 for sources
+    without that layer (bare sessions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..serve.stream import MajorityVoter, StreamDecision, StreamSession
+from .recordings import SyntheticRecording
+from .scenarios import Scenario, ScenarioSuite
+
+__all__ = ["EvalReport", "TransitionRecord", "StreamEvaluator"]
+
+#: Majority-vote depths the per-report sweep covers.
+DEFAULT_VOTE_DEPTHS = (1, 3, 5, 9)
+
+
+@dataclass(frozen=True)
+class TransitionRecord:
+    """One gesture transition's tracking outcome."""
+
+    label: int
+    #: Sample index of the gesture's physical onset.
+    onset_sample: int
+    #: First window index whose ground truth is this gesture.
+    first_window: int
+    #: First window index whose *smoothed* label matched, or None.
+    resolved_window: Optional[int]
+    #: Lag in windows (resolved_window - first_window), or None.
+    lag_windows: Optional[int]
+    #: Onset-to-correct-decision latency in milliseconds, or None.
+    latency_ms: Optional[float]
+
+
+@dataclass(frozen=True)
+class EvalReport:
+    """All streaming-accuracy metrics of one (recording, scenario) run."""
+
+    recording: str
+    scenario: str
+    num_windows: int
+    vote_depth: int
+    window_accuracy: float
+    smoothed_accuracy: float
+    accuracy_by_depth: Dict[int, float]
+    degraded_rate: float
+    num_degraded: int
+    transitions: Tuple[TransitionRecord, ...]
+    unresolved_transitions: int
+    mean_transition_lag_windows: Optional[float]
+    max_transition_lag_windows: Optional[int]
+    mean_decision_latency_ms: Optional[float]
+    max_decision_latency_ms: Optional[float]
+
+    def to_metrics(self) -> Dict[str, float]:
+        """Flat scalar view for benchmark trajectories / logging."""
+        metrics: Dict[str, float] = {
+            "num_windows": float(self.num_windows),
+            "window_accuracy": round(self.window_accuracy, 4),
+            "smoothed_accuracy": round(self.smoothed_accuracy, 4),
+            "degraded_rate": round(self.degraded_rate, 4),
+        }
+        for depth, accuracy in sorted(self.accuracy_by_depth.items()):
+            metrics[f"accuracy_depth{depth}"] = round(accuracy, 4)
+        if self.mean_transition_lag_windows is not None:
+            metrics["mean_transition_lag_windows"] = round(
+                self.mean_transition_lag_windows, 3
+            )
+        if self.mean_decision_latency_ms is not None:
+            metrics["mean_decision_latency_ms"] = round(
+                self.mean_decision_latency_ms, 3
+            )
+        metrics["unresolved_transitions"] = float(self.unresolved_transitions)
+        return metrics
+
+
+def _replay_depths(
+    raw_labels: Sequence[int], depths: Sequence[int]
+) -> Dict[int, List[int]]:
+    """Smoothed label sequences of ``raw_labels`` at every vote depth."""
+    replayed: Dict[int, List[int]] = {}
+    for depth in depths:
+        voter = MajorityVoter(depth)
+        replayed[depth] = [voter.vote(int(label)) for label in raw_labels]
+    return replayed
+
+
+class StreamEvaluator:
+    """Grade serving-tier streams against labelled recordings.
+
+    Parameters
+    ----------
+    source:
+        Where streams come from.  One of:
+
+        * an :class:`~repro.serve.server.InferenceServer` — a fresh
+          stream is opened per evaluation via ``open_stream``;
+        * a :class:`~repro.serve.sessions.SessionManager` — a fresh
+          managed session per evaluation (``create_session`` /
+          ``close_session``), which is the only source whose decisions
+          can carry ``degraded=True``;
+        * a bare ``classify`` callable mapping ``(batch, channels,
+          window)`` to per-window labels — a fresh
+          :class:`~repro.serve.stream.StreamSession` per evaluation
+          (requires ``window`` and ``num_channels``).
+    slide:
+        Sliding-window hop in samples.
+    smoothing:
+        Majority-vote depth of the evaluated stream.
+    window, num_channels:
+        Stream geometry; required for a callable source, inferred from
+        the server/manager otherwise.
+    chunk_size:
+        Samples per pushed chunk (the streaming granularity).
+    vote_depths:
+        Depths of the per-report accuracy sweep; the stream's own
+        ``smoothing`` is always included.
+    tenant:
+        Tenant name used for manager-owned sessions.
+    """
+
+    def __init__(
+        self,
+        source: Union[Callable[[np.ndarray], np.ndarray], object],
+        *,
+        slide: int,
+        smoothing: int = 5,
+        window: Optional[int] = None,
+        num_channels: Optional[int] = None,
+        chunk_size: int = 64,
+        vote_depths: Sequence[int] = DEFAULT_VOTE_DEPTHS,
+        tenant: str = "eval",
+    ) -> None:
+        if slide < 1 or smoothing < 1 or chunk_size < 1:
+            raise ValueError("slide, smoothing and chunk_size must be >= 1")
+        self.source = source
+        self.slide = int(slide)
+        self.smoothing = int(smoothing)
+        self.chunk_size = int(chunk_size)
+        self.tenant = tenant
+        depths = sorted({int(d) for d in vote_depths} | {int(smoothing)})
+        if any(d < 1 for d in depths):
+            raise ValueError("vote depths must be >= 1")
+        self.vote_depths = tuple(depths)
+        self._window = window
+        self._num_channels = num_channels
+        if callable(source) and not hasattr(source, "open_stream"):
+            if window is None or num_channels is None:
+                raise ValueError(
+                    "a callable source needs explicit window and num_channels"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Stream plumbing
+    # ------------------------------------------------------------------ #
+    def _open(self):
+        """A fresh (session, closer) pair for one evaluation run."""
+        source = self.source
+        if hasattr(source, "create_session"):  # SessionManager
+            session = source.create_session(
+                self.tenant, slide=self.slide, smoothing=self.smoothing
+            )
+            return session, lambda: source.close_session(session.session_id)
+        if hasattr(source, "open_stream"):  # InferenceServer
+            session = source.open_stream(self.slide, smoothing=self.smoothing)
+            return session, lambda: None
+        session = StreamSession(
+            source,
+            window=self._window,
+            slide=self.slide,
+            num_channels=self._num_channels,
+            smoothing=self.smoothing,
+        )
+        return session, lambda: None
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    def _transitions(
+        self,
+        recording: SyntheticRecording,
+        smoothed: Sequence[int],
+        window: int,
+    ) -> Tuple[TransitionRecord, ...]:
+        """Per-transition lag/latency against the smoothed decision track."""
+        num_windows = len(smoothed)
+        records: List[TransitionRecord] = []
+        for index, segment in enumerate(recording.segments):
+            # First window whose last sample falls inside this segment:
+            # j*slide + window - 1 >= segment.start.
+            first = max(0, -(-(segment.start - window + 1) // self.slide))
+            # Last window owned by this segment: last sample < segment.stop.
+            last = min(num_windows - 1, (segment.stop - window) // self.slide)
+            if first > last:
+                continue  # segment too short to own any window
+            if index > 0 and segment.label == recording.segments[index - 1].label:
+                continue  # not a label transition
+            resolved = None
+            for j in range(first, last + 1):
+                if smoothed[j] == segment.label:
+                    resolved = j
+                    break
+            lag = None if resolved is None else resolved - first
+            latency = (
+                None
+                if resolved is None
+                else (resolved * self.slide + window - segment.start)
+                / recording.sampling_rate_hz
+                * 1e3
+            )
+            records.append(
+                TransitionRecord(
+                    label=segment.label,
+                    onset_sample=segment.start,
+                    first_window=first,
+                    resolved_window=resolved,
+                    lag_windows=lag,
+                    latency_ms=latency,
+                )
+            )
+        return tuple(records)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        recording: SyntheticRecording,
+        scenario: Optional[Scenario] = None,
+    ) -> EvalReport:
+        """Stream ``recording`` (optionally corrupted) and grade it.
+
+        The scenario corrupts only the signal; grading always uses the
+        clean recording's ground truth.
+        """
+        corrupted = scenario.apply(recording) if scenario is not None else recording
+        session, closer = self._open()
+        try:
+            decisions = session.run(corrupted.signal, chunk_size=self.chunk_size)
+        finally:
+            closer()
+        window = session.windower.window
+        truth = recording.window_labels(window, self.slide)
+        if len(decisions) != len(truth):
+            raise AssertionError(
+                f"stream emitted {len(decisions)} decisions but the offline "
+                f"geometry holds {len(truth)} windows — windower and "
+                f"sliding_windows disagree"
+            )
+        raw = [d.label for d in decisions]
+        smoothed = [d.smoothed_label for d in decisions]
+        replayed = _replay_depths(raw, self.vote_depths)
+        if replayed[self.smoothing] != smoothed:
+            raise AssertionError(
+                "MajorityVoter replay at the session's own depth disagrees "
+                "with the session's smoothed labels — vote semantics drifted"
+            )
+        accuracy_by_depth = {
+            depth: float(np.mean(np.asarray(labels) == truth)) if len(truth) else 0.0
+            for depth, labels in replayed.items()
+        }
+        num_degraded = sum(1 for d in decisions if d.degraded)
+        transitions = self._transitions(recording, smoothed, window)
+        lags = [t.lag_windows for t in transitions if t.lag_windows is not None]
+        latencies = [t.latency_ms for t in transitions if t.latency_ms is not None]
+        return EvalReport(
+            recording=recording.name,
+            scenario=scenario.name if scenario is not None else "clean",
+            num_windows=len(decisions),
+            vote_depth=self.smoothing,
+            window_accuracy=(
+                float(np.mean(np.asarray(raw) == truth)) if len(truth) else 0.0
+            ),
+            smoothed_accuracy=accuracy_by_depth[self.smoothing],
+            accuracy_by_depth=accuracy_by_depth,
+            degraded_rate=num_degraded / len(decisions) if decisions else 0.0,
+            num_degraded=num_degraded,
+            transitions=transitions,
+            unresolved_transitions=sum(
+                1 for t in transitions if t.resolved_window is None
+            ),
+            mean_transition_lag_windows=float(np.mean(lags)) if lags else None,
+            max_transition_lag_windows=int(max(lags)) if lags else None,
+            mean_decision_latency_ms=float(np.mean(latencies)) if latencies else None,
+            max_decision_latency_ms=float(max(latencies)) if latencies else None,
+        )
+
+    def evaluate_suite(
+        self,
+        recording: SyntheticRecording,
+        suite: ScenarioSuite,
+    ) -> Dict[str, EvalReport]:
+        """One report per scenario in ``suite``, keyed by scenario name."""
+        return {scenario.name: self.evaluate(recording, scenario) for scenario in suite}

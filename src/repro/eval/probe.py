@@ -1,0 +1,76 @@
+"""Deterministic probe classifiers for the evaluation harness.
+
+The accuracy harness needs a classifier whose decisions are *meaningful*
+(clearly above chance on clean recordings, measurably hurt by
+corruptions) yet fully reproducible from seeds, without any real dataset
+in the loop.  :func:`fit_probe_model` delivers that: it trains a small
+registry model on labelled windows drawn from the same
+:class:`~repro.eval.recordings.RecordingGenerator` that produces the
+evaluation recordings — held-out by construction, because the probe's
+training windows come from a different seed stream than any recording.
+
+Everything is seeded (model init, training windows, batch shuffling), so
+a given ``(generator, architecture, seed)`` triple always yields the
+identical trained weights, which is what lets ``BENCH_accuracy.json``
+gate post-vote accuracy against a recorded baseline instead of a fuzzy
+tolerance band.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..models import build_model
+from ..nn import Adam
+from ..nn.module import Module
+from ..training import Trainer, TrainingConfig
+from .recordings import RecordingGenerator
+
+__all__ = ["fit_probe_model"]
+
+
+def fit_probe_model(
+    generator: RecordingGenerator,
+    window_samples: int,
+    *,
+    architecture: str = "bio2",
+    patch_size: Optional[int] = 10,
+    windows_per_class: int = 24,
+    epochs: int = 8,
+    batch_size: int = 32,
+    learning_rate: float = 3e-3,
+    seed: int = 0,
+) -> Module:
+    """Train a small registry model on ``generator``'s class patterns.
+
+    Returns the model in ``eval()`` mode, ready for
+    :func:`repro.serve.build_float_backend` / ``InferenceServer`` or a
+    bare ``classify`` callable.  Training is bitwise-deterministic in
+    ``(generator seed, seed)``; the training windows are drawn from a
+    seed stream disjoint from every recording the generator composes.
+    """
+    if window_samples < 1:
+        raise ValueError("window_samples must be >= 1")
+    windows, labels = generator.windows(
+        windows_per_class, window_samples, seed=seed + 1
+    )
+    kwargs = dict(
+        num_channels=generator.num_channels,
+        window_samples=window_samples,
+        num_classes=generator.num_classes,
+        seed=seed,
+    )
+    if patch_size is not None:
+        kwargs["patch_size"] = patch_size
+    model = build_model(architecture, **kwargs)
+    trainer = Trainer(
+        model,
+        Adam(model.parameters(), lr=learning_rate),
+        config=TrainingConfig(epochs=epochs, batch_size=batch_size),
+        rng=np.random.default_rng((seed, 2)),
+    )
+    trainer.fit(ArrayDataset(windows, labels))
+    return model.eval()

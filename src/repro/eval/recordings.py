@@ -1,0 +1,288 @@
+"""Labelled synthetic sEMG recordings for streaming evaluation.
+
+The offline experiments measure *window* accuracy on shuffled window sets;
+the serving tier's headline number is different — it is the smoothed
+*streaming* accuracy of a majority-voted decision sequence over a
+continuous recording, including the lag every vote window introduces at a
+gesture transition.  Measuring that needs recordings with known per-sample
+ground truth, which the NinaPro surrogate's repetition-level generator
+does not expose directly.
+
+:class:`SyntheticRecording` is that substrate: a ``(channels, samples)``
+signal plus an explicit, gap-free list of :class:`GestureSegment`
+boundaries, from which per-window ground-truth labels are derived under
+one fixed convention (a window is labelled by the segment that contains
+its **last** sample — the causal choice: the decision is made at window
+end).  :class:`RecordingGenerator` composes such recordings from
+class-conditioned segment signals: every class has a fixed per-channel
+activation pattern (offset + gain + a class-specific tremor frequency,
+drawn once from the generator's seed), so the classes are separable by a
+small trained model while remaining honestly noisy.  Generation is
+bitwise-deterministic: the same ``(generator seed, call seed)`` pair
+always produces the identical recording.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.windowing import sliding_window_count
+
+__all__ = ["GestureSegment", "SyntheticRecording", "RecordingGenerator"]
+
+
+@dataclass(frozen=True)
+class GestureSegment:
+    """One contiguous gesture span: ``label`` over samples ``[start, stop)``."""
+
+    label: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.label < 0:
+            raise ValueError("segment label must be non-negative")
+        if not 0 <= self.start < self.stop:
+            raise ValueError(
+                f"segment span [{self.start}, {self.stop}) must be non-empty "
+                f"and non-negative"
+            )
+
+    @property
+    def samples(self) -> int:
+        """Length of the segment in samples."""
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class SyntheticRecording:
+    """A labelled continuous recording: signal + gesture-segment boundaries.
+
+    ``segments`` must tile ``[0, num_samples)`` without gaps or overlaps —
+    every sample belongs to exactly one gesture, so per-window ground
+    truth is always defined.  Construction validates this.
+    """
+
+    name: str
+    signal: np.ndarray
+    segments: Tuple[GestureSegment, ...]
+    sampling_rate_hz: float
+
+    def __post_init__(self) -> None:
+        signal = np.asarray(self.signal, dtype=np.float64)
+        if signal.ndim != 2:
+            raise ValueError(
+                f"expected a (channels, samples) signal, got shape {signal.shape}"
+            )
+        object.__setattr__(self, "signal", signal)
+        object.__setattr__(self, "segments", tuple(self.segments))
+        if self.sampling_rate_hz <= 0:
+            raise ValueError("sampling_rate_hz must be positive")
+        if not self.segments:
+            raise ValueError("a recording needs at least one segment")
+        position = 0
+        for segment in self.segments:
+            if segment.start != position:
+                raise ValueError(
+                    f"segments must tile the recording contiguously: expected "
+                    f"a segment starting at {position}, got {segment.start}"
+                )
+            position = segment.stop
+        if position != signal.shape[1]:
+            raise ValueError(
+                f"segments cover [0, {position}) but the signal holds "
+                f"{signal.shape[1]} samples"
+            )
+
+    # -- geometry ------------------------------------------------------- #
+    @property
+    def num_channels(self) -> int:
+        """Electrode count of the recording."""
+        return self.signal.shape[0]
+
+    @property
+    def num_samples(self) -> int:
+        """Total length in samples."""
+        return self.signal.shape[1]
+
+    @property
+    def duration_s(self) -> float:
+        """Total length in seconds."""
+        return self.num_samples / self.sampling_rate_hz
+
+    # -- ground truth ---------------------------------------------------- #
+    def label_at(self, sample: int) -> int:
+        """Ground-truth label of the gesture active at ``sample``."""
+        if not 0 <= sample < self.num_samples:
+            raise IndexError(f"sample {sample} outside [0, {self.num_samples})")
+        stops = np.asarray([segment.stop for segment in self.segments])
+        return self.segments[int(np.searchsorted(stops, sample, side="right"))].label
+
+    def window_labels(self, window: int, slide: int) -> np.ndarray:
+        """Per-window ground truth under the recording's labelling convention.
+
+        Window ``i`` covers samples ``[i*slide, i*slide + window)`` (the
+        exact geometry of :func:`repro.data.windowing.sliding_windows` and
+        the streaming windower) and is labelled by the segment containing
+        its **last** sample — the decision made at window end is graded
+        against the gesture being performed at that instant.
+        """
+        count = sliding_window_count(self.num_samples, window, slide)
+        ends = np.arange(count) * slide + window - 1
+        stops = np.asarray([segment.stop for segment in self.segments])
+        labels = np.asarray([segment.label for segment in self.segments])
+        return labels[np.searchsorted(stops, ends, side="right")]
+
+    def with_signal(
+        self, signal: np.ndarray, name: Optional[str] = None
+    ) -> "SyntheticRecording":
+        """A copy carrying ``signal`` (same segments/labels), e.g. corrupted."""
+        signal = np.asarray(signal, dtype=np.float64)
+        if signal.shape != self.signal.shape:
+            raise ValueError(
+                f"replacement signal shape {signal.shape} disagrees with "
+                f"{self.signal.shape}"
+            )
+        return replace(self, signal=signal, name=name if name is not None else self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"SyntheticRecording('{self.name}', channels={self.num_channels}, "
+            f"samples={self.num_samples}, segments={len(self.segments)})"
+        )
+
+
+class RecordingGenerator:
+    """Seeded generator of labelled recordings with class-conditioned signals.
+
+    Class conditioning (all drawn once from ``seed``, then frozen):
+
+    * a per-channel DC offset pattern per class (electrode-space synergy
+      projection; the rest class 0 sits near zero),
+    * a per-channel envelope gain per class scaling a white-noise carrier
+      (the interference-pattern model, reduced to its separable core),
+    * a class-specific tremor frequency modulating the envelope.
+
+    Classes are placed ``class_separation`` apart in pattern space; the
+    shared ``noise_std`` white noise floor is what keeps single-window
+    classification below ceiling.  Recordings are composed segment by
+    segment from a per-call ``seed``, so the same call reproduces the
+    identical recording bitwise while different calls vary.
+    """
+
+    def __init__(
+        self,
+        num_channels: int = 4,
+        num_classes: int = 8,
+        sampling_rate_hz: float = 2000.0,
+        *,
+        class_separation: float = 1.0,
+        noise_std: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        if num_channels < 1 or num_classes < 2:
+            raise ValueError("need at least 1 channel and 2 classes")
+        if class_separation <= 0 or noise_std < 0:
+            raise ValueError("class_separation must be > 0 and noise_std >= 0")
+        self.num_channels = int(num_channels)
+        self.num_classes = int(num_classes)
+        self.sampling_rate_hz = float(sampling_rate_hz)
+        self.class_separation = float(class_separation)
+        self.noise_std = float(noise_std)
+        self.seed = int(seed)
+        rng = np.random.default_rng(seed)
+        #: (classes, channels) DC offset per class; rest (class 0) ~ 0.
+        offsets = class_separation * rng.standard_normal((num_classes, num_channels))
+        offsets[0] = 0.0
+        self.class_offsets = offsets
+        #: (classes, channels) envelope gain per class; rest keeps a small
+        #: residual tone so no clean channel is ever exactly flat.
+        gains = 0.4 + 0.6 * rng.random((num_classes, num_channels))
+        gains *= class_separation
+        gains[0] = 0.05 * class_separation
+        self.class_gains = gains
+        #: Per-class tremor frequency (Hz): a secondary temporal cue.
+        self.tremor_hz = 3.0 + 5.0 * rng.random(num_classes)
+
+    def _segment_signal(
+        self, label: int, samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Class-conditioned ``(channels, samples)`` signal for one segment."""
+        if not 0 <= label < self.num_classes:
+            raise ValueError(
+                f"label {label} outside [0, {self.num_classes})"
+            )
+        time = np.arange(samples) / self.sampling_rate_hz
+        tremor = 1.0 + 0.25 * np.sin(
+            2 * np.pi * self.tremor_hz[label] * time + rng.uniform(0, 2 * np.pi)
+        )
+        carrier = rng.standard_normal((self.num_channels, samples))
+        signal = (
+            self.class_offsets[label][:, None]
+            + self.class_gains[label][:, None] * (tremor[None, :] * carrier)
+        )
+        signal += self.noise_std * rng.standard_normal((self.num_channels, samples))
+        return signal
+
+    def recording(
+        self,
+        labels: Sequence[int],
+        segment_samples: int,
+        *,
+        seed: int = 0,
+        name: Optional[str] = None,
+    ) -> SyntheticRecording:
+        """Compose one recording from ``labels`` (one segment per entry).
+
+        ``segment_samples`` is the uniform per-gesture duration; transition
+        boundaries are abrupt, at exact multiples of it.  The same
+        ``(generator seed, seed)`` pair reproduces the recording bitwise.
+        """
+        labels = [int(label) for label in labels]
+        if not labels:
+            raise ValueError("need at least one segment label")
+        if segment_samples < 1:
+            raise ValueError("segment_samples must be >= 1")
+        rng = np.random.default_rng((self.seed, int(seed)))
+        pieces = []
+        segments = []
+        position = 0
+        for label in labels:
+            pieces.append(self._segment_signal(label, segment_samples, rng))
+            segments.append(
+                GestureSegment(label, start=position, stop=position + segment_samples)
+            )
+            position += segment_samples
+        return SyntheticRecording(
+            name=name if name is not None else f"rec-seed{seed}",
+            signal=np.concatenate(pieces, axis=1),
+            segments=tuple(segments),
+            sampling_rate_hz=self.sampling_rate_hz,
+        )
+
+    def windows(
+        self, windows_per_class: int, window: int, *, seed: int = 0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Labelled training windows for fitting a probe classifier.
+
+        Returns ``(windows, labels)`` with ``windows_per_class`` windows of
+        every class, each drawn as an independent class-conditioned segment
+        (so the probe never sees the evaluation recordings themselves).
+        """
+        if windows_per_class < 1 or window < 1:
+            raise ValueError("windows_per_class and window must be >= 1")
+        rng = np.random.default_rng((self.seed, int(seed), 1))
+        stacked = np.empty(
+            (self.num_classes * windows_per_class, self.num_channels, window)
+        )
+        labels = np.empty(self.num_classes * windows_per_class, dtype=np.int64)
+        index = 0
+        for label in range(self.num_classes):
+            for _ in range(windows_per_class):
+                stacked[index] = self._segment_signal(label, window, rng)
+                labels[index] = label
+                index += 1
+        return stacked, labels

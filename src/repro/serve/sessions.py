@@ -51,6 +51,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..data.augmentation import CHANNEL_FILL_VALUE
 from .faults import Overloaded, QuotaExceeded, SessionEvicted
 from .pool import Priority
 from .stream import StreamDecision, StreamSession
@@ -412,6 +413,12 @@ class ManagedSession:
         return self._inner.decisions
 
     @property
+    def windower(self):
+        """The underlying stream's windower (the evaluation harness reads
+        its window/slide geometry to compute per-window ground truth)."""
+        return self._inner.windower
+
+    @property
     def current_label(self) -> Optional[int]:
         """The latest smoothed decision (``None`` before the first window)."""
         return self._inner.current_label
@@ -480,7 +487,10 @@ class ManagedSession:
                 bad |= np.ptp(chunk, axis=1) == 0.0
             degraded = bool(bad.any())
             if degraded:
-                chunk = np.where(bad[:, None], 0.0, chunk)
+                # Mask to the augmentation pipeline's channel-dropout fill
+                # value, so a trained-against-dropout model sees the same
+                # signal in production that it saw in training.
+                chunk = np.where(bad[:, None], CHANNEL_FILL_VALUE, chunk)
             produced = self._inner.push(chunk)
             if degraded and produced:
                 produced = [replace(d, degraded=True) for d in produced]

@@ -321,6 +321,7 @@ class TestGoldenManifest:
 # --------------------------------------------------------------------- #
 # Bitwise invariance of the optimization passes
 # --------------------------------------------------------------------- #
+@pytest.mark.slow  # full op-set x model matrix; tier-1 keeps the targeted pass tests
 class TestPassInvariance:
     @pytest.mark.parametrize("use_gemm", [None, False], ids=["gemm", "einsum"])
     def test_optimized_logits_bitwise_equal(self, lowered_pair, windows, use_gemm):

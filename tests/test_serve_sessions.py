@@ -234,6 +234,7 @@ class TestSessionCheckpoint:
 # --------------------------------------------------------------------- #
 # The bitwise pin, per registry config and backend variant
 # --------------------------------------------------------------------- #
+@pytest.mark.slow  # full registry x backend matrix; tier-1 keeps the targeted unit tests
 class TestCheckpointParityRegistry:
     CUTS = [73, 150, 301]
 

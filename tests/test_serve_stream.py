@@ -99,6 +99,41 @@ class TestMajorityVoter:
         with pytest.raises(AttributeError):
             voter.histroy = 7
 
+    def test_three_way_tie_smallest_wins(self):
+        voter = MajorityVoter(history=3)
+        for label in (7, 4, 2):
+            smoothed = voter.vote(label)
+        assert smoothed == 2
+
+    def test_tie_break_is_content_not_order(self):
+        # The winner of a tied window depends only on *which* labels tied,
+        # never on their arrival order — the evaluator's vote-depth sweep
+        # replays recorded labels and must land on identical decisions.
+        import itertools
+
+        for ordering in itertools.permutations((9, 9, 2, 2)):
+            voter = MajorityVoter(history=4)
+            for label in ordering:
+                smoothed = voter.vote(label)
+            assert smoothed == 2, ordering
+
+    def test_depth_one_is_argmax_passthrough_from_any_state(self):
+        # Depth 1 must echo every raw label even mid-stream after resets:
+        # the sweep's depth-1 row *is* the raw (window) accuracy.
+        voter = MajorityVoter(history=1)
+        labels = [5, 0, 3, 3, 0, 7]
+        assert [voter.vote(label) for label in labels] == labels
+        voter.reset()
+        assert voter.vote(2) == 2
+
+    def test_partial_history_votes_are_well_defined(self):
+        # Before the window fills, the vote runs over what exists; the
+        # very first vote is always the first label.
+        voter = MajorityVoter(history=9)
+        assert voter.vote(6) == 6
+        assert voter.vote(4) == 4  # tie {6: 1, 4: 1} -> smallest
+        assert voter.vote(6) == 6
+
     def test_recent_returns_immutable_tuple(self):
         voter = MajorityVoter(history=3)
         for label in (4, 1, 1):
